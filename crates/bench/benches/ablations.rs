@@ -1,0 +1,22 @@
+//! Regenerates and times the design-choice ablations.
+
+use bench::{print_experiment, sim_criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::ablations;
+
+fn bench_ablations(c: &mut Criterion) {
+    let opts = print_experiment("ablations");
+    c.bench_function("ablation_slice_sweep", |b| {
+        b.iter(|| std::hint::black_box(ablations::run_slice_sweep(&opts).len()))
+    });
+    c.bench_function("ablation_detection_off", |b| {
+        b.iter(|| std::hint::black_box(ablations::run_detection_off(&opts).len()))
+    });
+}
+
+criterion_group! {
+    name = ablation_benches;
+    config = sim_criterion();
+    targets = bench_ablations
+}
+criterion_main!(ablation_benches);

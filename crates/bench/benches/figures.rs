@@ -1,0 +1,71 @@
+//! Regenerates and times Figures 4–9.
+//!
+//! The full sweeps print once per bench; Criterion then times one
+//! representative configuration of each figure (timing the whole sweep
+//! per iteration would take minutes per sample).
+
+use bench::{print_experiment, sim_criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::runner::PolicyKind;
+use experiments::{fig4, fig5, fig6, fig7, fig8, fig9};
+use workloads::Workload;
+
+fn bench_fig4(c: &mut Criterion) {
+    let opts = print_experiment("fig4");
+    c.bench_function("fig4_gmake_one_core", |b| {
+        b.iter(|| std::hint::black_box(fig4::run_one(&opts, Workload::Gmake, PolicyKind::Fixed(1))))
+    });
+    c.bench_function("fig4_dedup_three_cores", |b| {
+        b.iter(|| std::hint::black_box(fig4::run_one(&opts, Workload::Dedup, PolicyKind::Fixed(3))))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let opts = print_experiment("fig5");
+    c.bench_function("fig5_exim_one_core", |b| {
+        b.iter(|| std::hint::black_box(fig5::run_one(&opts, Workload::Exim, PolicyKind::Fixed(1))))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let opts = print_experiment("fig6");
+    c.bench_function("fig6_gmake_dynamic", |b| {
+        b.iter(|| {
+            std::hint::black_box(fig6::run_one(&opts, Workload::Gmake, PolicyKind::Adaptive))
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let opts = print_experiment("fig7");
+    c.bench_function("fig7_dedup_breakdown", |b| {
+        b.iter(|| {
+            std::hint::black_box(fig7::measure_one(&opts, Workload::Dedup, PolicyKind::Fixed(3)))
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let opts = print_experiment("fig8");
+    c.bench_function("fig8_blackscholes_pair", |b| {
+        b.iter(|| {
+            // One representative pair; the printed table covers all seven.
+            let rows = fig8::measure(&opts);
+            std::hint::black_box(rows.len())
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let opts = print_experiment("fig9");
+    c.bench_function("fig9_tcp_usliced", |b| {
+        b.iter(|| std::hint::black_box(fig9::measure_one(&opts, true, PolicyKind::Fixed(1))))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = sim_criterion();
+    targets = bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_fig8, bench_fig9
+}
+criterion_main!(figures);

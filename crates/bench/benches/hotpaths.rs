@@ -1,0 +1,118 @@
+//! Micro-benchmarks of the simulator's hot paths.
+
+use bench::sim_criterion;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypervisor::{BaselinePolicy, Machine, MachineConfig};
+use ksym::Linux44Map;
+use metrics::Histogram;
+use microslice::MicroslicePolicy;
+use simcore::event::EventQueue;
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+use workloads::{scenarios, Workload};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                // Pseudo-shuffled timestamps exercise heap reordering.
+                q.push(SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_exp_durations_10k", |b| {
+        let mut rng = SimRng::new(7);
+        let mean = SimDuration::from_micros(100);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(rng.exp_duration(mean).as_nanos());
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record_10k", |b| {
+        let mut rng = SimRng::new(9);
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for _ in 0..10_000 {
+                h.record(SimDuration::from_nanos(rng.range_u64(100, 100_000_000)));
+            }
+            std::hint::black_box(h.percentile(0.99))
+        })
+    });
+}
+
+fn bench_symbol_resolution(c: &mut Criterion) {
+    let map = Linux44Map::new();
+    let wl = ksym::Whitelist::linux44();
+    let ips: Vec<u64> = ksym::linux44::CRITICAL_FUNCTIONS
+        .iter()
+        .chain(ksym::linux44::ORDINARY_FUNCTIONS)
+        .map(|n| map.ip_in(n))
+        .collect();
+    c.bench_function("symbol_classify_batch", |b| {
+        b.iter(|| {
+            let mut critical = 0usize;
+            for &ip in &ips {
+                if wl.classify(map.table(), ip).is_critical() {
+                    critical += 1;
+                }
+            }
+            std::hint::black_box(critical)
+        })
+    });
+}
+
+/// One consolidated simulated second — the simulator's end-to-end rate.
+fn bench_sim_second(c: &mut Criterion) {
+    let build = |policy: bool| {
+        let (cfg, _) = scenarios::corun(Workload::Exim);
+        let n = cfg.num_pcpus;
+        let specs = vec![
+            scenarios::vm_with_iters(Workload::Exim, n, None),
+            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+        ];
+        if policy {
+            Machine::new(cfg, specs, Box::new(MicroslicePolicy::fixed(1)))
+        } else {
+            Machine::new(cfg, specs, Box::new(BaselinePolicy))
+        }
+    };
+    c.bench_function("simulate_one_second_baseline", |b| {
+        b.iter(|| {
+            let mut m = build(false);
+            m.run_until(SimTime::from_secs(1));
+            std::hint::black_box(m.stats.counters.total())
+        })
+    });
+    c.bench_function("simulate_one_second_microslice", |b| {
+        b.iter(|| {
+            let mut m = build(true);
+            m.run_until(SimTime::from_secs(1));
+            std::hint::black_box(m.stats.counters.total())
+        })
+    });
+    // Non-criterion context: 12 pCPUs at 2:1 overcommit; the baseline
+    // spends most events on PLE churn, the policy on micro migrations.
+    let _ = MachineConfig::paper_testbed();
+}
+
+criterion_group! {
+    name = hotpaths;
+    config = sim_criterion();
+    targets = bench_event_queue, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second
+}
+criterion_main!(hotpaths);

@@ -1,0 +1,54 @@
+//! Regenerates and times Tables 2, 3, and 4a–c.
+
+use bench::{print_experiment, sim_criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{table1, table2, table3, table4};
+
+fn bench_table1(c: &mut Criterion) {
+    let opts = print_experiment("table1");
+    c.bench_function("table1_scheme_comparison", |b| {
+        b.iter(|| std::hint::black_box(table1::measure(&opts).len()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let opts = print_experiment("table2");
+    c.bench_function("table2_yield_counts", |b| {
+        b.iter(|| std::hint::black_box(table2::measure(&opts)))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let opts = print_experiment("table3");
+    c.bench_function("table3_critical_census", |b| {
+        b.iter(|| std::hint::black_box(table3::measure(&opts)))
+    });
+}
+
+fn bench_table4a(c: &mut Criterion) {
+    let opts = print_experiment("table4a");
+    c.bench_function("table4a_lock_waits", |b| {
+        b.iter(|| std::hint::black_box(table4::measure_4a(&opts)))
+    });
+}
+
+fn bench_table4b(c: &mut Criterion) {
+    let opts = print_experiment("table4b");
+    c.bench_function("table4b_tlb_latency", |b| {
+        b.iter(|| std::hint::black_box(table4::measure_4b(&opts)))
+    });
+}
+
+fn bench_table4c(c: &mut Criterion) {
+    let opts = print_experiment("table4c");
+    c.bench_function("table4c_iperf", |b| {
+        b.iter(|| std::hint::black_box(table4::measure_4c(&opts)))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = sim_criterion();
+    targets = bench_table1, bench_table2, bench_table3, bench_table4a, bench_table4b, bench_table4c
+}
+criterion_main!(tables);

@@ -1,0 +1,371 @@
+//! Algorithm 1: adaptive adjustment of the micro-sliced core count.
+//!
+//! The controller alternates between a **profile phase** (short intervals,
+//! counting urgent events at each candidate core count) and a **run phase**
+//! (a long interval with the chosen configuration). Exactly as in the
+//! paper's pseudocode:
+//!
+//! - no urgent events at zero cores → keep zero cores for a whole epoch;
+//! - PLE- or IRQ-dominant load → one micro core, end profiling early;
+//! - IPI-dominant load → grow the pool one core per profile interval up
+//!   to the limit, then pick the count that produced the fewest IPI
+//!   events.
+//!
+//! The controller is a plain state machine over event-count snapshots, so
+//! it is testable without a machine; [`crate::policy::MicroslicePolicy`]
+//! feeds it counter deltas from timer callbacks.
+
+use simcore::time::SimDuration;
+
+/// Tuning knobs of Algorithm 1.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// Profile interval (paper: 10 ms).
+    pub profile_interval: SimDuration,
+    /// Run/epoch interval (paper: 1000 ms).
+    pub epoch_interval: SimDuration,
+    /// `NUM_LIMIT_µCORES`: maximum micro cores to try (paper: half the
+    /// socket minus headroom; 6 of 12).
+    pub max_micro_cores: usize,
+    /// Minimum urgent events per profile interval to consider the system
+    /// contended at all.
+    pub min_urgent_events: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            profile_interval: SimDuration::from_millis(10),
+            epoch_interval: SimDuration::from_millis(1000),
+            max_micro_cores: 6,
+            min_urgent_events: 8,
+        }
+    }
+}
+
+/// Urgent-event counts observed during one profile interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UrgentEvents {
+    /// Yields caused by IPI waits (TLB shootdowns, reschedule IPIs).
+    pub ipis: u64,
+    /// Pause-loop exits (spinlock spinning).
+    pub ples: u64,
+    /// Virtual IRQs delivered (I/O).
+    pub irqs: u64,
+}
+
+impl UrgentEvents {
+    /// Total urgent events.
+    pub fn total(&self) -> u64 {
+        self.ipis + self.ples + self.irqs
+    }
+
+    /// True if IPIs dominate the other two classes (Algorithm 1 line 23).
+    pub fn ipi_dominant(&self) -> bool {
+        self.ipis > self.ples || self.ipis > self.irqs
+    }
+}
+
+/// What the controller wants after a timer callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Number of micro cores to configure now.
+    pub micro_cores: usize,
+    /// When to call the controller again.
+    pub next_interval: SimDuration,
+}
+
+/// The Algorithm 1 state machine.
+#[derive(Clone, Debug)]
+pub struct AdaptiveController {
+    cfg: AdaptiveConfig,
+    profile_mode: bool,
+    num_micro_cores: usize,
+    /// `urEvents[n]`: events observed while running with `n` micro cores.
+    ur_events: Vec<UrgentEvents>,
+    /// Events accumulated over the preceding run epoch, scaled down to one
+    /// profile interval. Critical-service activity is bursty (PLE storms
+    /// around each lock-holder preemption), so a single 10 ms window can
+    /// land between bursts; `CheckUrgentEvents(urEvents)` therefore also
+    /// consults this history, as the paper's pseudocode consults the
+    /// stored `urEvents` array rather than only the current sample.
+    epoch_hist: UrgentEvents,
+    /// Decisions taken (for tests and reports).
+    pub decisions: u64,
+    /// Whether any profile interval has ever been contended. Until then
+    /// the controller re-profiles at a short interval, so a workload that
+    /// ramps up after boot is not ignored for a whole epoch.
+    seen_contention: bool,
+}
+
+impl AdaptiveController {
+    /// Creates a controller; the first call to [`Self::on_timer`] starts a
+    /// profile phase at zero micro cores.
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        AdaptiveController {
+            profile_mode: false,
+            num_micro_cores: 0,
+            ur_events: vec![UrgentEvents::default(); cfg.max_micro_cores + 1],
+            epoch_hist: UrgentEvents::default(),
+            cfg,
+            decisions: 0,
+            seen_contention: false,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// Current target number of micro cores.
+    pub fn micro_cores(&self) -> usize {
+        self.num_micro_cores
+    }
+
+    /// True while in a profile phase.
+    pub fn is_profiling(&self) -> bool {
+        self.profile_mode
+    }
+
+    /// One timer callback of Algorithm 1. `events` are the urgent-event
+    /// counts accumulated since the previous callback.
+    pub fn on_timer(&mut self, events: UrgentEvents) -> Decision {
+        if !self.profile_mode {
+            // Initialize a profiling epoch (Algorithm 1 lines 2–8). The
+            // incoming counts cover the whole preceding run epoch; keep
+            // them — scaled to one profile interval — as history for
+            // `CheckUrgentEvents`.
+            let scale = (self.cfg.epoch_interval.as_nanos()
+                / self.cfg.profile_interval.as_nanos().max(1))
+            .max(1);
+            self.epoch_hist = UrgentEvents {
+                ipis: events.ipis / scale,
+                ples: events.ples / scale,
+                irqs: events.irqs / scale,
+            };
+            self.num_micro_cores = 0;
+            self.profile_mode = true;
+            self.ur_events.iter_mut().for_each(|e| *e = UrgentEvents::default());
+            return Decision {
+                micro_cores: 0,
+                next_interval: self.cfg.profile_interval,
+            };
+        }
+
+        // Gather statistics for the current core count (lines 10–12).
+        // Bursty services can leave a single window empty; fall back to
+        // the per-interval history from the last run epoch.
+        let curr = if events.total() >= self.cfg.min_urgent_events {
+            events
+        } else {
+            self.epoch_hist
+        };
+        self.ur_events[self.num_micro_cores] = curr;
+        let mut next_interval = self.cfg.profile_interval;
+
+        if self.num_micro_cores == 0 {
+            if curr.total() < self.cfg.min_urgent_events {
+                // No urgent events: run uncontended for an epoch
+                // (lines 14–20). Before the first contended interval is
+                // ever seen, keep re-profiling quickly so a workload that
+                // ramps up right after boot is caught within ~100 ms.
+                self.profile_mode = false;
+                self.decisions += 1;
+                let next_interval = if self.seen_contention {
+                    self.cfg.epoch_interval
+                } else {
+                    self.cfg.profile_interval * 10
+                };
+                return Decision {
+                    micro_cores: 0,
+                    next_interval,
+                };
+            }
+            self.seen_contention = true;
+            self.num_micro_cores = 1; // Line 22.
+            if curr.ipi_dominant() {
+                // IPI dominant: keep exploring (lines 23–26).
+            } else {
+                // PLE/IRQ dominant: one core suffices; early termination
+                // (lines 27–31).
+                self.profile_mode = false;
+                self.decisions += 1;
+                next_interval = self.cfg.epoch_interval;
+            }
+        } else if self.num_micro_cores < self.cfg.max_micro_cores {
+            self.num_micro_cores += 1; // Lines 32–33.
+        } else {
+            // Line 34–37: pick the best count seen and enter the run phase.
+            self.num_micro_cores = self.find_best_core_count();
+            self.profile_mode = false;
+            self.decisions += 1;
+            next_interval = self.cfg.epoch_interval;
+        }
+
+        Decision {
+            micro_cores: self.num_micro_cores,
+            next_interval,
+        }
+    }
+
+    /// `FindBestµCoreCnt`: the smallest candidate whose IPI-yield count is
+    /// within 2× of the minimum observed.
+    ///
+    /// A plain argmin is biased toward the maximum core count — IPI yields
+    /// fall monotonically with pool size long after the *runtime* benefit
+    /// has plateaued, while every extra micro core keeps shrinking the
+    /// normal pool. Preferring the smallest near-minimal count keeps the
+    /// normal pool large, which is the concern Algorithm 1's
+    /// `NUM_LIMIT_µCORES` exists for.
+    fn find_best_core_count(&self) -> usize {
+        let min = (1..=self.cfg.max_micro_cores)
+            .map(|n| self.ur_events[n].ipis)
+            .min()
+            .unwrap_or(0);
+        let tolerance = (min * 2).max(self.cfg.min_urgent_events);
+        (1..=self.cfg.max_micro_cores)
+            .find(|&n| self.ur_events[n].ipis <= tolerance)
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            max_micro_cores: 3,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn uncontended_system_reserves_nothing() {
+        let mut c = AdaptiveController::new(cfg());
+        let d0 = c.on_timer(UrgentEvents::default());
+        assert_eq!(d0.micro_cores, 0);
+        assert_eq!(d0.next_interval, cfg().profile_interval);
+        assert!(c.is_profiling());
+        let d1 = c.on_timer(UrgentEvents::default());
+        assert_eq!(d1.micro_cores, 0);
+        // Never-contended systems re-profile quickly (10× the profile
+        // interval) so a post-boot ramp-up is caught fast...
+        assert_eq!(d1.next_interval, cfg().profile_interval * 10);
+        assert!(!c.is_profiling(), "run phase at zero cores");
+        // ...but once contention has been seen, calm decisions hold for a
+        // full epoch.
+        c.on_timer(UrgentEvents::default());
+        c.on_timer(UrgentEvents { ipis: 0, ples: 100, irqs: 0 }); // Contended: 1 core.
+        c.on_timer(UrgentEvents::default()); // Epoch over: re-profile.
+        let calm = c.on_timer(UrgentEvents::default());
+        assert_eq!(calm.micro_cores, 0);
+        assert_eq!(calm.next_interval, cfg().epoch_interval);
+    }
+
+    #[test]
+    fn ple_dominant_early_terminates_with_one_core() {
+        let mut c = AdaptiveController::new(cfg());
+        c.on_timer(UrgentEvents::default()); // Enter profiling.
+        let d = c.on_timer(UrgentEvents {
+            ipis: 5,
+            ples: 500,
+            irqs: 10,
+        });
+        assert_eq!(d.micro_cores, 1);
+        assert_eq!(d.next_interval, cfg().epoch_interval);
+        assert!(!c.is_profiling());
+    }
+
+    #[test]
+    fn irq_dominant_early_terminates_with_one_core() {
+        let mut c = AdaptiveController::new(cfg());
+        c.on_timer(UrgentEvents::default());
+        let d = c.on_timer(UrgentEvents {
+            ipis: 2,
+            ples: 3,
+            irqs: 900,
+        });
+        assert_eq!(d.micro_cores, 1);
+        assert!(!c.is_profiling());
+    }
+
+    #[test]
+    fn ipi_dominant_searches_and_picks_minimum() {
+        let mut c = AdaptiveController::new(cfg());
+        c.on_timer(UrgentEvents::default()); // Profiling, 0 cores.
+        // 0 cores: IPI dominant → go to 1 core, continue profiling.
+        let d = c.on_timer(UrgentEvents {
+            ipis: 900,
+            ples: 3,
+            irqs: 2,
+        });
+        assert_eq!(d.micro_cores, 1);
+        assert!(c.is_profiling());
+        assert_eq!(d.next_interval, cfg().profile_interval);
+        // 1 core: still bad.
+        let d = c.on_timer(UrgentEvents {
+            ipis: 700,
+            ples: 0,
+            irqs: 0,
+        });
+        assert_eq!(d.micro_cores, 2);
+        // 2 cores: best.
+        let d = c.on_timer(UrgentEvents {
+            ipis: 50,
+            ples: 0,
+            irqs: 0,
+        });
+        assert_eq!(d.micro_cores, 3);
+        // 3 cores (= limit): worse than 2 → decision picks 2.
+        let d = c.on_timer(UrgentEvents {
+            ipis: 300,
+            ples: 0,
+            irqs: 0,
+        });
+        assert_eq!(d.micro_cores, 2, "best observed count wins");
+        assert_eq!(d.next_interval, cfg().epoch_interval);
+        assert!(!c.is_profiling());
+        assert_eq!(c.decisions, 1);
+    }
+
+    #[test]
+    fn epoch_restarts_profiling_from_zero() {
+        let mut c = AdaptiveController::new(cfg());
+        c.on_timer(UrgentEvents::default());
+        c.on_timer(UrgentEvents {
+            ipis: 0,
+            ples: 100,
+            irqs: 0,
+        }); // Decision: 1 core, run phase.
+        // Next timer (end of epoch): back to profiling at zero cores.
+        let d = c.on_timer(UrgentEvents {
+            ipis: 0,
+            ples: 100,
+            irqs: 0,
+        });
+        assert_eq!(d.micro_cores, 0);
+        assert_eq!(d.next_interval, cfg().profile_interval);
+        assert!(c.is_profiling());
+    }
+
+    #[test]
+    fn tie_breaks_to_fewer_cores() {
+        let mut c = AdaptiveController::new(cfg());
+        c.on_timer(UrgentEvents::default());
+        c.on_timer(UrgentEvents { ipis: 100, ples: 0, irqs: 0 }); // → 1
+        c.on_timer(UrgentEvents { ipis: 10, ples: 0, irqs: 0 }); // → 2
+        c.on_timer(UrgentEvents { ipis: 10, ples: 0, irqs: 0 }); // → 3
+        let d = c.on_timer(UrgentEvents { ipis: 10, ples: 0, irqs: 0 });
+        assert_eq!(d.micro_cores, 1, "tie between 1/2/3 goes to 1");
+    }
+
+    #[test]
+    fn ipi_dominance_definition_matches_paper() {
+        // "numIPIs > numPLEs OR numIPIs > numIRQs" — an OR, per the
+        // pseudocode.
+        assert!(UrgentEvents { ipis: 5, ples: 3, irqs: 9 }.ipi_dominant());
+        assert!(!UrgentEvents { ipis: 2, ples: 3, irqs: 9 }.ipi_dominant());
+    }
+}

@@ -1,0 +1,56 @@
+//! Flexible micro-sliced cores — the paper's contribution.
+//!
+//! This crate implements the mechanism of *"Accelerating Critical OS
+//! Services in Virtualized Systems with Flexible Micro-sliced Cores"*
+//! (EuroSys '18) against the simulated Xen substrate in the `hypervisor`
+//! crate:
+//!
+//! 1. **Guest-transparent detection** ([`detect`]): on every yield the
+//!    hypervisor reads the yielding vCPU's instruction pointer, resolves
+//!    it through the guest's kernel symbol table, and classifies it with
+//!    the Table 3 whitelist; sibling vCPUs' instruction pointers identify
+//!    preempted lock holders, and the hypervisor's own IPI/vIRQ relay
+//!    identifies interrupt recipients (§4.1).
+//! 2. **Per-class handling** ([`policy`]): TLB/IPI waits migrate *all*
+//!    preempted acknowledgement-owing siblings onto the micro-sliced
+//!    pool; PLE yields migrate the preempted lock holder; vIRQs and
+//!    reschedule IPIs migrate the preempted recipient (§4.2). The micro
+//!    pool runs 0.1 ms slices, caps its run queues at one vCPU, and
+//!    always evicts vCPUs back to the normal pool after one slice (§5).
+//! 3. **Flexible pool sizing** ([`adaptive`]): Algorithm 1 — a
+//!    profile/run phase controller that counts IPI, PLE, and vIRQ events,
+//!    reserves zero cores when the system is uncontended, one core for
+//!    PLE/IRQ-dominant loads, and searches 1..limit for IPI-dominant
+//!    loads (§4.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use hypervisor::{Machine, MachineConfig, VmSpec};
+//! use guest::segment::{ScriptedProgram, Segment};
+//! use microslice::MicroslicePolicy;
+//! use simcore::time::{SimDuration, SimTime};
+//!
+//! let spec = VmSpec::new("demo", 2).task_per_vcpu(|_| {
+//!     Box::new(ScriptedProgram::looping(
+//!         "spin",
+//!         vec![Segment::User { dur: SimDuration::from_micros(100) }],
+//!     ))
+//! });
+//! let mut machine = Machine::new(
+//!     MachineConfig::small(2),
+//!     vec![spec],
+//!     Box::new(MicroslicePolicy::adaptive(Default::default())),
+//! );
+//! machine.run_until(SimTime::from_millis(50));
+//! ```
+
+pub mod adaptive;
+pub mod comparators;
+pub mod detect;
+pub mod policy;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveController};
+pub use comparators::{VTurboPolicy, VtrsConfig, VtrsPolicy};
+pub use detect::DetectionEngine;
+pub use policy::{MicroslicePolicy, PolicyMode};

@@ -1,0 +1,180 @@
+//! Ablation studies for the design choices the paper argues for.
+//!
+//! Each ablation disables or varies one mechanism and re-runs the
+//! lock-bound (exim) and TLB-bound (dedup) pairs:
+//!
+//! - **micro-slice length** — §4's 0.1 ms choice vs 50 µs…1 ms;
+//! - **run-queue cap** — §5 caps micro-pool queues at one vCPU;
+//! - **whitelist off** — detection disabled: pool reserved but never
+//!   used (isolates reservation cost from acceleration benefit);
+//! - **fixed-µsliced** — the `[2]`-style alternative: *every* core gets a
+//!   0.1 ms slice (no precise selection), which the paper's Table 1
+//!   criticizes for hurting cache-sensitive user work.
+
+use crate::runner::{build, PolicyKind, RunOptions};
+use hypervisor::{MachineConfig, VmSpec};
+use metrics::render::Table;
+use microslice::{DetectionEngine, MicroslicePolicy};
+use simcore::ids::VmId;
+use simcore::time::SimDuration;
+use simcore::time::SimTime;
+use workloads::{scenarios, Workload};
+
+/// Throughput of the exim pair over a window under a custom config.
+fn exim_rate(opts: &RunOptions, mutate: impl FnOnce(&mut MachineConfig), policy: PolicyKind) -> f64 {
+    let mut cfg = MachineConfig::paper_testbed();
+    mutate(&mut cfg);
+    let n = cfg.num_pcpus;
+    let specs: Vec<VmSpec> = vec![
+        scenarios::vm_with_iters(Workload::Exim, n, None),
+        scenarios::vm_with_iters(Workload::Swaptions, n, None),
+    ];
+    let window = opts.window(SimDuration::from_secs(3));
+    let mut m = build(opts, (cfg, specs), policy);
+    m.run_until(SimTime::ZERO + window);
+    m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64()
+}
+
+/// Micro-slice length sweep (50 µs – 1 ms) on the exim pair.
+pub fn run_slice_sweep(opts: &RunOptions) -> Vec<Table> {
+    const SLICES_US: [u64; 5] = [50, 100, 200, 500, 1_000];
+    let rates: Vec<f64> = SLICES_US
+        .iter()
+        .map(|&us| {
+            exim_rate(
+                opts,
+                |cfg| cfg.micro_slice = SimDuration::from_micros(us),
+                PolicyKind::Fixed(1),
+            )
+        })
+        .collect();
+    let hundred = rates[1];
+    let mut t = Table::new(vec!["micro slice", "exim units/s", "vs 100us"])
+        .with_title("Ablation: micro-slice length (exim + swaptions, 1 micro core)");
+    for (us, rate) in SLICES_US.iter().zip(&rates) {
+        t.row(vec![
+            format!("{us} us"),
+            format!("{rate:.0}"),
+            format!("{:.2}", rate / hundred),
+        ]);
+    }
+    vec![t]
+}
+
+/// Run-queue cap ablation on the dedup pair (cap 1 vs unbounded-ish).
+pub fn run_runq_cap(opts: &RunOptions) -> Vec<Table> {
+    let mut t = Table::new(vec!["micro runq cap", "dedup exec (s)"])
+        .with_title("Ablation: micro-pool run-queue cap (dedup + swaptions, 3 micro cores)");
+    for cap in [1usize, 2, 4, 16] {
+        let mut cfg = MachineConfig::paper_testbed();
+        cfg.micro_runq_cap = cap;
+        let n = cfg.num_pcpus;
+        let iters = opts.iters(Workload::Dedup.default_iters().unwrap());
+        let specs = vec![
+            scenarios::vm_with_iters(Workload::Dedup, n, Some(iters)),
+            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+        ];
+        let mut m = build(opts, (cfg, specs), PolicyKind::Fixed(3));
+        let end = m
+            .run_until_vm_finished(VmId(0), opts.horizon())
+            .expect("dedup finishes");
+        t.row(vec![cap.to_string(), format!("{:.2}", end.as_secs_f64())]);
+    }
+    vec![t]
+}
+
+/// Detection-off ablation: reserve a core but never accelerate anything.
+pub fn run_detection_off(opts: &RunOptions) -> Vec<Table> {
+    let mut t = Table::new(vec!["config", "exim units/s"])
+        .with_title("Ablation: detection (whitelist) on/off, 1 reserved micro core");
+    let window = opts.window(SimDuration::from_secs(3));
+    let run = |policy: Box<dyn hypervisor::policy::SchedPolicy>| {
+        let cfg = MachineConfig::paper_testbed();
+        let n = cfg.num_pcpus;
+        let specs = vec![
+            scenarios::vm_with_iters(Workload::Exim, n, None),
+            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+        ];
+        let mut cfg = cfg;
+        cfg.seed = opts.seed;
+        let mut m = hypervisor::Machine::new(cfg, specs, policy);
+        m.run_until(SimTime::ZERO + window);
+        m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64()
+    };
+    let baseline = run(Box::new(hypervisor::BaselinePolicy));
+    let on = run(Box::new(MicroslicePolicy::fixed(1)));
+    let off = run(Box::new(
+        MicroslicePolicy::fixed(1)
+            .with_detection(DetectionEngine::with_whitelist(ksym::Whitelist::empty())),
+    ));
+    t.row(vec!["baseline (no pool)".into(), format!("{baseline:.0}")]);
+    t.row(vec!["pool + detection".into(), format!("{on:.0}")]);
+    t.row(vec!["pool, detection off".into(), format!("{off:.0}")]);
+    vec![t]
+}
+
+/// Fixed-µsliced comparator: every core runs 0.1 ms slices (no pools, no
+/// selection) — the `[2]`-style baseline of Table 1.
+pub fn run_fixed_usliced(opts: &RunOptions) -> Vec<Table> {
+    let mut t = Table::new(vec!["scheme", "exim units/s", "swaptions units/s"])
+        .with_title("Ablation: precise selection vs micro-slicing every core");
+    let window = opts.window(SimDuration::from_secs(3));
+    let run = |mutate: &dyn Fn(&mut MachineConfig), policy: PolicyKind| {
+        let mut cfg = MachineConfig::paper_testbed();
+        mutate(&mut cfg);
+        let n = cfg.num_pcpus;
+        let specs = vec![
+            scenarios::vm_with_iters(Workload::Exim, n, None),
+            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+        ];
+        let mut m = build(opts, (cfg, specs), policy);
+        m.run_until(SimTime::ZERO + window);
+        let secs = window.as_secs_f64();
+        (
+            m.vm_work_done(VmId(0)) as f64 / secs,
+            m.vm_work_done(VmId(1)) as f64 / secs,
+        )
+    };
+    let (be, bs) = run(&|_| {}, PolicyKind::Baseline);
+    let (me, ms) = run(&|_| {}, PolicyKind::Fixed(1));
+    let (fe, fs) = run(
+        &|cfg| cfg.normal_slice = SimDuration::from_micros(100),
+        PolicyKind::Baseline,
+    );
+    t.row(vec!["baseline (30ms)".into(), format!("{be:.0}"), format!("{bs:.0}")]);
+    t.row(vec!["flexible micro-sliced (ours)".into(), format!("{me:.0}"), format!("{ms:.0}")]);
+    t.row(vec!["fixed micro-sliced (all cores 0.1ms)".into(), format!("{fe:.0}"), format!("{fs:.0}")]);
+    vec![t]
+}
+
+/// Runs every ablation.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.extend(run_slice_sweep(opts));
+    tables.extend(run_runq_cap(opts));
+    tables.extend(run_detection_off(opts));
+    tables.extend(run_fixed_usliced(opts));
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_off_neutralizes_the_pool() {
+        let tables = run_detection_off(&RunOptions::quick());
+        let csv = tables[0].render_csv();
+        let rates: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').next_back().unwrap().parse().unwrap())
+            .collect();
+        let (baseline, on, off) = (rates[0], rates[1], rates[2]);
+        assert!(on > baseline, "detection-on should beat baseline");
+        assert!(
+            off < on * 0.9,
+            "without detection the pool is dead weight: off {off} vs on {on}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! `repro` — regenerate the paper's tables and figures from the simulator.
+//!
+//! ```text
+//! repro [--quick] [--csv] [--seed N] <experiment>...
+//! repro all
+//! repro list
+//! ```
+
+use experiments::{run_experiment, RunOptions, ALL_EXPERIMENTS};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--quick] [--csv] [--seed N] <experiment>... | all | list");
+    eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = RunOptions::default();
+    let mut csv = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--csv" => csv = true,
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    for id in ids {
+        let started = Instant::now();
+        match run_experiment(&id, &opts) {
+            Some(tables) => {
+                for table in tables {
+                    if csv {
+                        print!("{}", table.render_csv());
+                    } else {
+                        println!("{}", table.render());
+                    }
+                }
+                eprintln!("[{id} done in {:.1?}]", started.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}");
+                usage();
+            }
+        }
+    }
+}

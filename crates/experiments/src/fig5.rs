@@ -1,0 +1,115 @@
+//! Figure 5: throughput improvement vs number of micro-sliced cores for
+//! exim and psearchy (throughput benchmarks), with the swaptions
+//! co-runner's execution time on the second axis.
+
+use crate::runner::{PolicyKind, RunOptions};
+use hypervisor::{Machine, MachineConfig, VmSpec};
+use metrics::render::Table;
+use simcore::ids::VmId;
+use simcore::time::SimDuration;
+use workloads::{scenarios, Workload};
+
+/// The Figure 5 workloads.
+pub const WORKLOADS: [Workload; 2] = [Workload::Exim, Workload::Psearchy];
+
+/// One measured cell.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// Configuration.
+    pub policy: PolicyKind,
+    /// Target VM throughput, work units per second.
+    pub throughput: f64,
+    /// Swaptions work rate, units/s (normalized execution time is the
+    /// baseline rate over this rate).
+    pub corunner_rate: f64,
+}
+
+/// The throughput co-run scenario: both VMs run continuously; metrics are
+/// rates over a fixed measurement window.
+pub fn scenario(_opts: &RunOptions, w: Workload) -> (MachineConfig, Vec<VmSpec>) {
+    let cfg = MachineConfig::paper_testbed();
+    let n = cfg.num_pcpus;
+    (
+        cfg,
+        vec![
+            scenarios::vm_with_iters(w, n, None),
+            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+        ],
+    )
+}
+
+/// Runs one configuration over the measurement window.
+pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> Cell {
+    let window = opts.window(SimDuration::from_secs(4));
+    let m: Machine =
+        crate::runner::run_window(opts, scenario(opts, w), policy, window);
+    let secs = window.as_secs_f64();
+    Cell {
+        policy,
+        throughput: m.vm_work_done(VmId(0)) as f64 / secs,
+        corunner_rate: m.vm_work_done(VmId(1)) as f64 / secs,
+    }
+}
+
+/// Runs the full sweep for one workload.
+pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<Cell> {
+    crate::fig4::configs()
+        .into_iter()
+        .map(|policy| run_one(opts, w, policy))
+        .collect()
+}
+
+/// Renders Figure 5.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    WORKLOADS
+        .iter()
+        .map(|&w| {
+            let cells = sweep(opts, w);
+            let base = cells[0];
+            let mut t = Table::new(vec![
+                "config",
+                "throughput improvement",
+                "swaptions (norm)",
+                "throughput (units/s)",
+            ])
+            .with_title(format!(
+                "Figure 5 [{} + swaptions]: throughput vs #micro cores",
+                w.name()
+            ));
+            for c in &cells {
+                t.row(vec![
+                    c.policy.label(),
+                    format!("{:.2}x", c.throughput / base.throughput),
+                    format!("{:.3}", base.corunner_rate / c.corunner_rate),
+                    format!("{:.0}", c.throughput),
+                ]);
+            }
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline result: one micro-sliced core multiplies exim's
+    /// throughput (4.56× in the paper) at a modest swaptions cost.
+    #[test]
+    fn exim_throughput_multiplies_with_one_core() {
+        let opts = RunOptions::quick();
+        let base = run_one(&opts, Workload::Exim, PolicyKind::Baseline);
+        let one = run_one(&opts, Workload::Exim, PolicyKind::Fixed(1));
+        let improvement = one.throughput / base.throughput;
+        assert!(
+            improvement > 1.12,
+            "exim improvement only {improvement:.2}x"
+        );
+        assert!(
+            one.corunner_rate > base.corunner_rate * 0.55,
+            "swaptions degraded too much: {} vs {}",
+            one.corunner_rate,
+            base.corunner_rate
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 7: decomposition of yield events by source, for the baseline
+//! (B), static-best (S), and dynamic (D) configurations.
+//!
+//! The reproduction target: micro-sliced cores collapse the dominant
+//! yield class of each pair (PLE for the lock-bound pairs, IPI waits for
+//! the TLB-bound ones), and the halt share shrinks as the VMs regain
+//! utilization.
+
+use crate::runner::{PolicyKind, RunOptions};
+use hypervisor::stats::YieldBreakdown;
+use metrics::render::Table;
+use simcore::ids::VmId;
+use simcore::time::SimDuration;
+use workloads::{scenarios, Workload};
+
+/// The Figure 7 pairs (same as Figure 6).
+pub const WORKLOADS: [Workload; 6] = crate::fig6::WORKLOADS;
+
+/// Measures the target VM's yield breakdown under one policy, over a
+/// fixed window (endless workload variants, so B/S/D windows align).
+pub fn measure_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> YieldBreakdown {
+    let window = opts.window(SimDuration::from_secs(3));
+    let (cfg, _) = scenarios::corun(w);
+    let n = cfg.num_pcpus;
+    let specs = vec![
+        scenarios::vm_with_iters(w, n, None),
+        scenarios::vm_with_iters(Workload::Swaptions, n, None),
+    ];
+    let m = crate::runner::run_window(opts, (cfg, specs), policy, window);
+    m.stats.vm(VmId(0)).yields
+}
+
+/// Runs B/S/D for every pair.
+pub fn measure(opts: &RunOptions) -> Vec<(Workload, [YieldBreakdown; 3])> {
+    WORKLOADS
+        .iter()
+        .map(|&w| {
+            let best = crate::fig6::static_best(w);
+            (
+                w,
+                [
+                    measure_one(opts, w, PolicyKind::Baseline),
+                    measure_one(opts, w, PolicyKind::Fixed(best)),
+                    measure_one(opts, w, PolicyKind::Adaptive),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Renders Figure 7 (stacked-bar data as rows).
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let mut t = Table::new(vec![
+        "pair", "config", "ipi", "spinlock", "halt", "others", "total", "vs B",
+    ])
+    .with_title("Figure 7: yield events by source (B: baseline, S: static, D: dynamic)");
+    for (w, breakdowns) in measure(opts) {
+        let base_total = breakdowns[0].total().max(1);
+        for (label, b) in ["B", "S", "D"].iter().zip(&breakdowns) {
+            t.row(vec![
+                format!("{}", w.name()),
+                label.to_string(),
+                b.ipi.to_string(),
+                b.spinlock.to_string(),
+                b.halt.to_string(),
+                b.other.to_string(),
+                b.total().to_string(),
+                format!("{:.2}", b.total() as f64 / base_total as f64),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microslicing_collapses_dominant_yield_class() {
+        let opts = RunOptions::quick();
+        // Lock-bound pair: PLE yields dominate the baseline and shrink
+        // under the static configuration.
+        let base = measure_one(&opts, Workload::Gmake, PolicyKind::Baseline);
+        let stat = measure_one(&opts, Workload::Gmake, PolicyKind::Fixed(1));
+        assert!(
+            base.spinlock > base.ipi,
+            "gmake baseline should be PLE-dominated: {base:?}"
+        );
+        assert!(
+            stat.spinlock < base.spinlock / 2,
+            "static should collapse PLE yields: {} vs {}",
+            stat.spinlock,
+            base.spinlock
+        );
+        // TLB-bound pair: IPI yields dominate the baseline.
+        let dbase = measure_one(&opts, Workload::Dedup, PolicyKind::Baseline);
+        assert!(
+            dbase.ipi > dbase.spinlock,
+            "dedup baseline should be IPI-dominated: {dbase:?}"
+        );
+        let dstat = measure_one(&opts, Workload::Dedup, PolicyKind::Fixed(3));
+        assert!(
+            dstat.ipi < dbase.ipi,
+            "static should reduce IPI yields: {} vs {}",
+            dstat.ipi,
+            dbase.ipi
+        );
+    }
+}

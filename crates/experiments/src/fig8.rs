@@ -1,0 +1,99 @@
+//! Figure 8: overhead on workloads that do *not* stress OS services.
+//!
+//! Seven compute-bound applications co-run with swaptions under the
+//! baseline and the dynamic policy. The reproduction target: the dynamic
+//! scheme's profiling changes their execution time by only a few percent.
+
+use crate::runner::{PolicyKind, RunOptions};
+use hypervisor::{MachineConfig, VmSpec};
+use metrics::render::Table;
+use simcore::ids::VmId;
+use workloads::{scenarios, Workload};
+
+/// One measured pair.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// The compute workload.
+    pub workload: Workload,
+    /// Baseline execution time, seconds.
+    pub baseline_secs: f64,
+    /// Dynamic-policy execution time, seconds.
+    pub dynamic_secs: f64,
+}
+
+fn scenario(opts: &RunOptions, w: Workload) -> (MachineConfig, Vec<VmSpec>) {
+    let cfg = MachineConfig::paper_testbed();
+    let n = cfg.num_pcpus;
+    let target_iters = opts.iters(w.default_iters().expect("finite"));
+    (
+        cfg,
+        vec![
+            scenarios::vm_with_iters(w, n, Some(target_iters)),
+            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+        ],
+    )
+}
+
+fn exec_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> f64 {
+    let mut m = crate::runner::build(opts, scenario(opts, w), policy);
+    m.run_until_vm_finished(VmId(0), opts.horizon())
+        .expect("target finishes")
+        .as_secs_f64()
+}
+
+/// Runs the measurement.
+pub fn measure(opts: &RunOptions) -> Vec<Row> {
+    Workload::figure8_set()
+        .iter()
+        .map(|&w| Row {
+            workload: w,
+            baseline_secs: exec_one(opts, w, PolicyKind::Baseline),
+            dynamic_secs: exec_one(opts, w, PolicyKind::Adaptive),
+        })
+        .collect()
+}
+
+/// Renders Figure 8.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let mut t = Table::new(vec![
+        "workload",
+        "baseline (s)",
+        "dynamic (s)",
+        "normalized",
+        "overhead",
+    ])
+    .with_title("Figure 8: non-affected workloads (co-run w/ swaptions)");
+    for r in measure(opts) {
+        let norm = r.dynamic_secs / r.baseline_secs;
+        t.row(vec![
+            r.workload.name().to_string(),
+            format!("{:.2}", r.baseline_secs),
+            format!("{:.2}", r.dynamic_secs),
+            format!("{norm:.3}"),
+            format!("{:+.1}%", (norm - 1.0) * 100.0),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_on_compute_workloads_is_small() {
+        let opts = RunOptions::quick();
+        // One representative from PARSEC and one from SPEC keeps the test
+        // fast; the full set runs in the bench harness.
+        for w in [Workload::Blackscholes, Workload::Sjeng] {
+            let b = exec_one(&opts, w, PolicyKind::Baseline);
+            let d = exec_one(&opts, w, PolicyKind::Adaptive);
+            let overhead = (d / b - 1.0) * 100.0;
+            assert!(
+                overhead.abs() < 8.0,
+                "{}: overhead {overhead:.1}% too large ({d}s vs {b}s)",
+                w.name()
+            );
+        }
+    }
+}

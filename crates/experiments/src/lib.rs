@@ -1,0 +1,70 @@
+//! Reproduction harness: one module per table/figure of the paper.
+//!
+//! Every module exposes a `run(&RunOptions) -> Vec<Table>` function that
+//! sets up the corresponding scenario, drives the simulation, and renders
+//! the same rows/series the paper reports:
+//!
+//! | Module | Paper content |
+//! |---|---|
+//! | [`table1`] | Prior-scheme comparison, made quantitative (Table 1) |
+//! | [`table2`] | Yield counts, solo vs co-run (Table 2) |
+//! | [`table3`] | Critical-component census (Table 3) |
+//! | [`table4`] | Lock waits, TLB latency, iPerf loss (Table 4a–c) |
+//! | [`fig4`]   | Exec time vs #micro cores: gmake/memclone/dedup/vips |
+//! | [`fig5`]   | Throughput vs #micro cores: exim/psearchy |
+//! | [`fig6`]   | Static-best vs dynamic |
+//! | [`fig7`]   | Yield decomposition (baseline/static/dynamic) |
+//! | [`fig8`]   | Non-affected workload overhead |
+//! | [`fig9`]   | Mixed-vCPU iPerf TCP/UDP |
+//! | [`ablations`] | Design-choice ablations (slice length, runq cap, detection, fixed-µslicing) |
+//!
+//! The `repro` binary (`cargo run -p experiments --bin repro --release`)
+//! drives them from the command line. Absolute numbers come from a
+//! simulator, not the authors' Xeon E5645 testbed — the *shapes* (who
+//! wins, by what factor, where the crossovers fall) are the reproduction
+//! target; see `EXPERIMENTS.md`.
+
+pub mod ablations;
+pub mod compare;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod runner;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+pub use runner::{PolicyKind, RunOptions};
+
+use metrics::render::Table;
+
+/// Every experiment id the harness knows.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4a", "table4b", "table4c", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "ablations", "compare",
+];
+
+/// Runs one experiment by id.
+pub fn run_experiment(id: &str, opts: &RunOptions) -> Option<Vec<Table>> {
+    match id {
+        "table1" => Some(table1::run(opts)),
+        "table2" => Some(table2::run(opts)),
+        "table3" => Some(table3::run(opts)),
+        "table4a" => Some(table4::run_4a(opts)),
+        "table4b" => Some(table4::run_4b(opts)),
+        "table4c" => Some(table4::run_4c(opts)),
+        "fig4" => Some(fig4::run(opts)),
+        "fig5" => Some(fig5::run(opts)),
+        "fig6" => Some(fig6::run(opts)),
+        "fig7" => Some(fig7::run(opts)),
+        "fig8" => Some(fig8::run(opts)),
+        "fig9" => Some(fig9::run(opts)),
+        "ablations" => Some(ablations::run(opts)),
+        "compare" => Some(compare::run(opts)),
+        _ => None,
+    }
+}

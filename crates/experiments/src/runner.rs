@@ -1,0 +1,190 @@
+//! Shared experiment machinery: policies, run options, and drivers.
+
+use hypervisor::policy::SchedPolicy;
+use hypervisor::{BaselinePolicy, Machine, MachineConfig, VmSpec};
+use microslice::{AdaptiveConfig, MicroslicePolicy};
+use simcore::ids::VmId;
+use simcore::time::{SimDuration, SimTime};
+
+/// Which scheduling policy a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Vanilla Xen (credit scheduler, BOOST, PLE) — the paper's baseline.
+    Baseline,
+    /// Micro-sliced cores with a fixed pool size (the paper's "static").
+    Fixed(usize),
+    /// Micro-sliced cores sized by Algorithm 1 (the paper's "dynamic").
+    Adaptive,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn SchedPolicy> {
+        match self {
+            PolicyKind::Baseline => Box::new(BaselinePolicy),
+            PolicyKind::Fixed(n) => Box::new(MicroslicePolicy::fixed(n)),
+            PolicyKind::Adaptive => {
+                Box::new(MicroslicePolicy::adaptive(AdaptiveConfig::default()))
+            }
+        }
+    }
+
+    /// Short label for report columns.
+    pub fn label(self) -> String {
+        match self {
+            PolicyKind::Baseline => "baseline".to_string(),
+            PolicyKind::Fixed(n) => format!("{n}"),
+            PolicyKind::Adaptive => "dynamic".to_string(),
+        }
+    }
+}
+
+/// Global experiment options.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Quick mode: shorter windows and smaller iteration budgets, for CI
+    /// and tests. Shapes still hold; absolute counts shrink.
+    pub quick: bool,
+    /// Base RNG seed (experiments offset it per run).
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            quick: false,
+            seed: 0xE005_2018, // EuroSys 2018.
+        }
+    }
+}
+
+impl RunOptions {
+    /// Quick-mode options.
+    pub fn quick() -> Self {
+        RunOptions {
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    /// Scales an iteration budget down in quick mode.
+    pub fn iters(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 4).max(500)
+        } else {
+            full
+        }
+    }
+
+    /// Scales a measurement window down in quick mode.
+    pub fn window(&self, full: SimDuration) -> SimDuration {
+        if self.quick {
+            (full / 4).max(SimDuration::from_millis(800))
+        } else {
+            full
+        }
+    }
+
+    /// Horizon for runs that wait for VM completion.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(if self.quick { 60 } else { 240 })
+    }
+}
+
+/// Builds a machine from a scenario and policy, seeding it from the
+/// options.
+pub fn build(
+    opts: &RunOptions,
+    scenario: (MachineConfig, Vec<VmSpec>),
+    policy: PolicyKind,
+) -> Machine {
+    let (mut cfg, specs) = scenario;
+    cfg.seed = opts.seed;
+    Machine::new(cfg, specs, policy.build())
+}
+
+/// Runs for a fixed measurement window and returns the machine.
+pub fn run_window(
+    opts: &RunOptions,
+    scenario: (MachineConfig, Vec<VmSpec>),
+    policy: PolicyKind,
+    window: SimDuration,
+) -> Machine {
+    let mut m = build(opts, scenario, policy);
+    m.run_until(SimTime::ZERO + window);
+    m
+}
+
+/// Runs until every VM finishes (or the horizon passes) and returns the
+/// machine. Panics if the horizon is hit — experiment budgets are sized
+/// so completion always happens, and silently truncated runs would
+/// corrupt normalized execution times.
+pub fn run_to_completion(
+    opts: &RunOptions,
+    scenario: (MachineConfig, Vec<VmSpec>),
+    policy: PolicyKind,
+) -> Machine {
+    let mut m = build(opts, scenario, policy);
+    let finished = m.run_until_all_finished(opts.horizon());
+    assert!(
+        finished,
+        "scenario did not finish within the horizon; raise it or lower the workload budget"
+    );
+    m
+}
+
+/// Execution time of a VM in seconds (panics if it has not finished).
+pub fn exec_secs(m: &Machine, vm: VmId) -> f64 {
+    m.vm_finished_at(vm)
+        .expect("VM finished")
+        .as_secs_f64()
+}
+
+/// Throughput of a VM in work units per second over `[0, until]`.
+pub fn throughput(m: &Machine, vm: VmId, until: SimTime) -> f64 {
+    let secs = until.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    m.vm_work_done(vm) as f64 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::scenarios;
+    use workloads::Workload;
+
+    #[test]
+    fn policy_kinds_build_and_label() {
+        assert_eq!(PolicyKind::Baseline.build().name(), "baseline");
+        assert_eq!(PolicyKind::Fixed(2).build().name(), "microslice-static");
+        assert_eq!(PolicyKind::Adaptive.build().name(), "microslice-adaptive");
+        assert_eq!(PolicyKind::Baseline.label(), "baseline");
+        assert_eq!(PolicyKind::Fixed(3).label(), "3");
+        assert_eq!(PolicyKind::Adaptive.label(), "dynamic");
+    }
+
+    #[test]
+    fn quick_mode_scales() {
+        let q = RunOptions::quick();
+        assert!(q.iters(10_000) < 10_000);
+        assert!(q.window(SimDuration::from_secs(4)) < SimDuration::from_secs(4));
+        let f = RunOptions::default();
+        assert_eq!(f.iters(10_000), 10_000);
+        assert_eq!(f.window(SimDuration::from_secs(4)), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn run_window_produces_stats() {
+        let opts = RunOptions::quick();
+        let m = run_window(
+            &opts,
+            scenarios::solo(Workload::Swaptions),
+            PolicyKind::Baseline,
+            SimDuration::from_millis(500),
+        );
+        assert!(m.vm_work_done(VmId(0)) > 0);
+        assert_eq!(m.now(), SimTime::from_millis(500));
+    }
+}

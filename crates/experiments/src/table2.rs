@@ -1,0 +1,117 @@
+//! Table 2: yield counts of workloads run solo and co-run with swaptions.
+//!
+//! The paper measures total yields over full benchmark runs; we count
+//! yields of the target VM over a fixed measurement window in both
+//! configurations. The reproduction target is the *shape*: co-run yields
+//! exceed solo yields by orders of magnitude.
+
+use crate::runner::{run_window, PolicyKind, RunOptions};
+use metrics::render::Table;
+use simcore::ids::VmId;
+use simcore::time::SimDuration;
+use workloads::{scenarios, Workload};
+
+/// The Table 2 workload set.
+pub const WORKLOADS: [Workload; 4] = [
+    Workload::Exim,
+    Workload::Gmake,
+    Workload::Dedup,
+    Workload::Vips,
+];
+
+/// Measured yield counts for one workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// The workload.
+    pub workload: Workload,
+    /// Yields of the target VM in the solo run.
+    pub solo: u64,
+    /// Yields of the target VM in the co-run.
+    pub corun: u64,
+}
+
+/// Runs the measurement and returns the raw rows.
+pub fn measure(opts: &RunOptions) -> Vec<Row> {
+    let window = opts.window(SimDuration::from_secs(4));
+    WORKLOADS
+        .iter()
+        .map(|&w| {
+            // Endless variants in both configurations: Table 2 counts
+            // yields while the workload runs, not completion times.
+            let solo_m = run_window(
+                opts,
+                {
+                    let (cfg, _) = scenarios::solo(w);
+                    let spec = scenarios::vm_with_iters(w, cfg.num_pcpus, None);
+                    (cfg, vec![spec])
+                },
+                PolicyKind::Baseline,
+                window,
+            );
+            let corun_m = run_window(
+                opts,
+                {
+                    let (cfg, _) = scenarios::corun(w);
+                    let n = cfg.num_pcpus;
+                    (
+                        cfg,
+                        vec![
+                            scenarios::vm_with_iters(w, n, None),
+                            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+                        ],
+                    )
+                },
+                PolicyKind::Baseline,
+                window,
+            );
+            Row {
+                workload: w,
+                solo: solo_m.stats.vm(VmId(0)).yields.total(),
+                corun: corun_m.stats.vm(VmId(0)).yields.total(),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 2.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let rows = measure(opts);
+    let mut t = Table::new(vec!["workload", "solo", "co-run", "ratio"])
+        .with_title("Table 2: number of yields, solo vs co-run (w/ swaptions)");
+    for r in rows {
+        let ratio = if r.solo == 0 {
+            f64::INFINITY
+        } else {
+            r.corun as f64 / r.solo as f64
+        };
+        t.row(vec![
+            r.workload.name().to_string(),
+            r.solo.to_string(),
+            r.corun.to_string(),
+            format!("{ratio:.0}x"),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corun_yields_dwarf_solo_yields() {
+        let rows = measure(&RunOptions::quick());
+        assert_eq!(rows.len(), 4);
+        // Full-budget runs show 19x–50000x (see EXPERIMENTS.md); the quick
+        // budget has few scheduling rounds, so guard a conservative 3x.
+        for r in &rows {
+            assert!(
+                r.corun > r.solo.max(1) * 3,
+                "{}: co-run {} not ≫ solo {}",
+                r.workload.name(),
+                r.corun,
+                r.solo
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Table 3: the critical kernel components preempted under consolidation.
+//!
+//! The paper derives its whitelist by profiling which kernel functions
+//! vCPUs were executing when they yielded. We reproduce the analysis: run
+//! the lock-bound and TLB-bound co-run scenarios, take the yield-site
+//! census (instruction pointers resolved through the symbol table), and
+//! report each observed kernel function with its whitelist class.
+
+use crate::runner::{run_window, PolicyKind, RunOptions};
+use ksym::whitelist::{CriticalClass, Whitelist};
+use metrics::render::Table;
+use simcore::time::SimDuration;
+use std::collections::BTreeMap;
+use workloads::{scenarios, Workload};
+
+/// Runs the census and returns `(site, class, count)` sorted by count.
+pub fn measure(opts: &RunOptions) -> Vec<(&'static str, CriticalClass, u64)> {
+    let window = opts.window(SimDuration::from_secs(3));
+    let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for w in [Workload::Gmake, Workload::Dedup, Workload::Psearchy] {
+        let m = run_window(opts, scenarios::corun(w), PolicyKind::Baseline, window);
+        for (site, count) in &m.stats.yield_sites {
+            *census.entry(site).or_insert(0) += count;
+        }
+    }
+    let wl = Whitelist::linux44();
+    let mut rows: Vec<(&'static str, CriticalClass, u64)> = census
+        .into_iter()
+        .map(|(site, count)| (site, wl.class_of(site), count))
+        .collect();
+    rows.sort_by_key(|&(_, _, count)| core::cmp::Reverse(count));
+    rows
+}
+
+/// Renders the Table 3 census.
+pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let rows = measure(opts);
+    let mut t = Table::new(vec!["function at yield", "class", "yields"]).with_title(
+        "Table 3: kernel functions observed at yield time (gmake/dedup/psearchy co-runs)",
+    );
+    for (site, class, count) in rows {
+        t.row(vec![
+            site.to_string(),
+            format!("{class:?}"),
+            count.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_finds_the_papers_critical_sites() {
+        let rows = measure(&RunOptions::quick());
+        let sites: Vec<&str> = rows.iter().map(|r| r.0).collect();
+        // The two dominant yield sites of §3.1: lock spinning (PLE) and
+        // the one-to-many IPI wait.
+        assert!(
+            sites.contains(&"native_queued_spin_lock_slowpath"),
+            "no spin-wait yields observed: {sites:?}"
+        );
+        assert!(
+            sites.contains(&"smp_call_function_many"),
+            "no IPI-wait yields observed: {sites:?}"
+        );
+        // Idle halts also appear (guest HLT).
+        assert!(sites.contains(&"default_idle"));
+        // Every named critical site classifies as critical.
+        for (site, class, _) in &rows {
+            if *site == "native_queued_spin_lock_slowpath" || *site == "smp_call_function_many"
+            {
+                assert!(class.is_critical());
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Table 4: the performance cost of the virtual time discontinuity.
+//!
+//! - **4a** — average spinlock wait times in gmake, solo vs co-run, per
+//!   kernel component (Lockstat's role).
+//! - **4b** — TLB synchronization latencies in dedup and vips
+//!   (SystemTap on `native_flush_tlb_others`).
+//! - **4c** — iPerf jitter and throughput, solo vs mixed co-run.
+
+use crate::runner::{run_window, PolicyKind, RunOptions};
+use guest::kernel::LockKind;
+use metrics::render::{fmt_f64, Table};
+use simcore::ids::VmId;
+use simcore::time::SimDuration;
+use workloads::{scenarios, Workload};
+
+/// Table 4a lock-kind rows, in paper order.
+pub const TABLE4A_KINDS: [LockKind; 4] = [
+    LockKind::PageReclaim,
+    LockKind::PageAlloc,
+    LockKind::Dentry,
+    LockKind::Runqueue,
+];
+
+/// Measured mean waits in µs: `(kind, solo, corun)`.
+pub fn measure_4a(opts: &RunOptions) -> Vec<(LockKind, f64, f64)> {
+    let window = opts.window(SimDuration::from_secs(4));
+    let run = |corun: bool| {
+        let scenario = if corun {
+            scenarios::corun(Workload::Gmake)
+        } else {
+            scenarios::solo(Workload::Gmake)
+        };
+        // Endless gmake: measure waits while it runs.
+        let (cfg, mut specs) = scenario;
+        specs[0] = scenarios::vm_with_iters(Workload::Gmake, cfg.num_pcpus, None);
+        run_window(opts, (cfg, specs), PolicyKind::Baseline, window)
+    };
+    let solo = run(false);
+    let corun = run(true);
+    TABLE4A_KINDS
+        .iter()
+        .map(|&kind| {
+            let s = solo.vm(VmId(0)).kernel.lock_wait_of(kind).mean();
+            let c = corun.vm(VmId(0)).kernel.lock_wait_of(kind).mean();
+            (kind, s.as_micros_f64(), c.as_micros_f64())
+        })
+        .collect()
+}
+
+/// Renders Table 4a.
+pub fn run_4a(opts: &RunOptions) -> Vec<Table> {
+    let mut t = Table::new(vec!["kernel component", "solo (us)", "co-run (us)"])
+        .with_title("Table 4a: spinlock waiting time in gmake");
+    for (kind, solo, corun) in measure_4a(opts) {
+        t.row(vec![
+            kind.display_name().to_string(),
+            fmt_f64(solo),
+            fmt_f64(corun),
+        ]);
+    }
+    vec![t]
+}
+
+/// Measured TLB-sync latency in µs: `(workload, config, avg, min, max)`.
+pub fn measure_4b(opts: &RunOptions) -> Vec<(Workload, &'static str, f64, f64, f64)> {
+    let window = opts.window(SimDuration::from_secs(4));
+    let mut rows = Vec::new();
+    for w in [Workload::Dedup, Workload::Vips] {
+        for corun in [false, true] {
+            let (cfg, _) = scenarios::solo(w);
+            let n = cfg.num_pcpus;
+            let mut specs = vec![scenarios::vm_with_iters(w, n, None)];
+            let label = if corun {
+                specs.push(scenarios::vm_with_iters(Workload::Swaptions, n, None));
+                "co-run"
+            } else {
+                "solo"
+            };
+            let m = run_window(opts, (cfg, specs), PolicyKind::Baseline, window);
+            let h = &m.vm(VmId(0)).kernel.tlb_latency;
+            rows.push((
+                w,
+                label,
+                h.mean().as_micros_f64(),
+                h.min().as_micros_f64(),
+                h.max().as_micros_f64(),
+            ));
+        }
+    }
+    rows
+}
+
+/// Renders Table 4b.
+pub fn run_4b(opts: &RunOptions) -> Vec<Table> {
+    let mut t = Table::new(vec!["workload", "config", "avg (us)", "min (us)", "max (us)"])
+        .with_title("Table 4b: TLB synchronization latency");
+    for (w, label, avg, min, max) in measure_4b(opts) {
+        t.row(vec![
+            w.name().to_string(),
+            label.to_string(),
+            fmt_f64(avg),
+            fmt_f64(min),
+            fmt_f64(max),
+        ]);
+    }
+    vec![t]
+}
+
+/// Measured iPerf numbers: `(config, jitter ms, throughput Mbit/s)`.
+pub fn measure_4c(opts: &RunOptions) -> Vec<(&'static str, f64, f64)> {
+    let window = opts.window(SimDuration::from_secs(4));
+    let solo = run_window(opts, scenarios::iperf_solo(true), PolicyKind::Baseline, window);
+    let mixed = run_window(
+        opts,
+        scenarios::mixed_iperf_corun(),
+        PolicyKind::Baseline,
+        window,
+    );
+    let flow_of = |m: &hypervisor::Machine| {
+        let f = &m.vm(VmId(0)).kernel.flows[0];
+        (f.jitter_ms(), f.throughput_mbps(m.now()))
+    };
+    let (sj, st) = flow_of(&solo);
+    let (mj, mt) = flow_of(&mixed);
+    vec![("solo", sj, st), ("mixed co-run", mj, mt)]
+}
+
+/// Renders Table 4c.
+pub fn run_4c(opts: &RunOptions) -> Vec<Table> {
+    let mut t = Table::new(vec!["config", "jitter (ms)", "throughput (Mbit/s)"])
+        .with_title("Table 4c: iPerf latency and throughput");
+    for (label, jitter, tput) in measure_4c(opts) {
+        t.row(vec![label.to_string(), fmt_f64(jitter), fmt_f64(tput)]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_waits_explode_under_corun() {
+        let rows = measure_4a(&RunOptions::quick());
+        assert_eq!(rows.len(), 4);
+        // The hot single-instance locks must degrade by orders of
+        // magnitude; per-CPU run-queue locks degrade less.
+        let hot: f64 = rows
+            .iter()
+            .filter(|(k, _, _)| matches!(k, LockKind::PageAlloc | LockKind::Dentry))
+            .map(|(_, s, c)| c / s.max(0.01))
+            .fold(0.0, f64::max);
+        assert!(hot > 10.0, "hot-lock co-run/solo ratio only {hot}");
+    }
+
+    #[test]
+    fn tlb_latency_explodes_under_corun() {
+        let rows = measure_4b(&RunOptions::quick());
+        for pair in rows.chunks(2) {
+            let (w, _, solo_avg, _, _) = pair[0];
+            let (_, _, corun_avg, _, corun_max) = pair[1];
+            assert!(
+                corun_avg > solo_avg * 5.0,
+                "{}: co-run avg {corun_avg} vs solo {solo_avg}",
+                w.name()
+            );
+            assert!(corun_max > 1_000.0, "{}: max {corun_max}us", w.name());
+        }
+    }
+
+    #[test]
+    fn mixed_corun_degrades_iperf() {
+        let rows = measure_4c(&RunOptions::quick());
+        let (_, solo_jitter, solo_tput) = rows[0];
+        let (_, mixed_jitter, mixed_tput) = rows[1];
+        assert!(solo_jitter < 0.5, "solo jitter {solo_jitter}ms");
+        assert!(mixed_jitter > 1.0, "mixed jitter {mixed_jitter}ms");
+        assert!(
+            mixed_tput < solo_tput * 0.8,
+            "throughput {mixed_tput} vs solo {solo_tput}"
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! The one-to-many TLB-shootdown protocol.
+//!
+//! `mmap`/`munmap`-heavy workloads (dedup, vips; §3.1) force the initiating
+//! vCPU to IPI every sibling in the address space and wait in
+//! `smp_call_function_many` until *all* of them acknowledge. One preempted
+//! straggler stalls the initiator — the co-run latencies of Table 4b. This
+//! module tracks in-flight shootdowns and their acknowledgement sets.
+
+use simcore::time::SimTime;
+use std::collections::{BTreeSet, HashMap};
+
+/// Identifies an in-flight shootdown within one VM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShootdownId(pub u64);
+
+/// One in-flight shootdown.
+#[derive(Clone, Debug)]
+pub struct Shootdown {
+    /// Initiating vCPU index.
+    pub initiator: u16,
+    /// Initiating task index.
+    pub task: u32,
+    /// Sibling vCPU indices that have not yet acknowledged.
+    pub pending: BTreeSet<u16>,
+    /// When the shootdown started (Table 4b latency measurement).
+    pub started: SimTime,
+}
+
+/// All in-flight shootdowns of one VM.
+#[derive(Clone, Debug, Default)]
+pub struct ShootdownTable {
+    inflight: HashMap<ShootdownId, Shootdown>,
+    next_id: u64,
+    /// Completed shootdowns (for statistics).
+    pub completed: u64,
+}
+
+impl ShootdownTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a shootdown from `initiator` to `targets`.
+    ///
+    /// An empty target set is legal (all siblings idle in lazy-TLB mode)
+    /// and completes immediately; the caller should check
+    /// [`ShootdownTable::is_complete`] right after starting.
+    pub fn start(
+        &mut self,
+        initiator: u16,
+        task: u32,
+        targets: impl IntoIterator<Item = u16>,
+        now: SimTime,
+    ) -> ShootdownId {
+        let id = ShootdownId(self.next_id);
+        self.next_id += 1;
+        let pending: BTreeSet<u16> = targets.into_iter().filter(|&t| t != initiator).collect();
+        self.inflight.insert(
+            id,
+            Shootdown {
+                initiator,
+                task,
+                pending,
+                started: now,
+            },
+        );
+        id
+    }
+
+    /// Records `vcpu`'s acknowledgement. Returns `true` if this was the
+    /// last outstanding acknowledgement (the initiator may proceed).
+    ///
+    /// Acknowledging an unknown shootdown or acknowledging twice is
+    /// harmless and returns the current completion state — IPIs can race
+    /// with teardown in the real kernel too.
+    pub fn ack(&mut self, id: ShootdownId, vcpu: u16) -> bool {
+        match self.inflight.get_mut(&id) {
+            Some(sd) => {
+                sd.pending.remove(&vcpu);
+                sd.pending.is_empty()
+            }
+            None => false,
+        }
+    }
+
+    /// True once every target has acknowledged.
+    pub fn is_complete(&self, id: ShootdownId) -> bool {
+        self.inflight
+            .get(&id)
+            .map(|sd| sd.pending.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Looks up an in-flight shootdown.
+    pub fn get(&self, id: ShootdownId) -> Option<&Shootdown> {
+        self.inflight.get(&id)
+    }
+
+    /// Finishes a completed shootdown, returning its start time for
+    /// latency accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shootdown is unknown or still has pending targets —
+    /// finishing early would silently corrupt the Table 4b statistics.
+    pub fn finish(&mut self, id: ShootdownId) -> SimTime {
+        let sd = self
+            .inflight
+            .remove(&id)
+            .unwrap_or_else(|| panic!("finish of unknown shootdown {id:?}"));
+        assert!(
+            sd.pending.is_empty(),
+            "finish with {} pending acks",
+            sd.pending.len()
+        );
+        self.completed += 1;
+        sd.started
+    }
+
+    /// vCPU indices with at least one outstanding acknowledgement, across
+    /// all in-flight shootdowns (deterministic order). These are the
+    /// "preempted sibling vCPUs" the micro-slice policy wakes (§4.2).
+    pub fn vcpus_owing_acks(&self) -> BTreeSet<u16> {
+        let mut set = BTreeSet::new();
+        for sd in self.inflight.values() {
+            set.extend(sd.pending.iter().copied());
+        }
+        set
+    }
+
+    /// Number of in-flight shootdowns.
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_protocol_roundtrip() {
+        let mut t = ShootdownTable::new();
+        let id = t.start(0, 7, [1, 2, 3], SimTime::from_micros(5));
+        assert!(!t.is_complete(id));
+        assert!(!t.ack(id, 1));
+        assert!(!t.ack(id, 2));
+        assert!(t.ack(id, 3), "last ack completes");
+        assert!(t.is_complete(id));
+        assert_eq!(t.finish(id), SimTime::from_micros(5));
+        assert_eq!(t.completed, 1);
+        assert_eq!(t.inflight_count(), 0);
+    }
+
+    #[test]
+    fn initiator_is_excluded_from_targets() {
+        let mut t = ShootdownTable::new();
+        let id = t.start(2, 0, [0, 1, 2], SimTime::ZERO);
+        assert_eq!(t.get(id).unwrap().pending.len(), 2);
+    }
+
+    #[test]
+    fn empty_target_set_is_immediately_complete() {
+        let mut t = ShootdownTable::new();
+        let id = t.start(0, 0, [], SimTime::ZERO);
+        assert!(t.is_complete(id));
+        t.finish(id);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_acks_are_harmless() {
+        let mut t = ShootdownTable::new();
+        let id = t.start(0, 0, [1], SimTime::ZERO);
+        assert!(t.ack(id, 1));
+        assert!(t.ack(id, 1), "re-ack still reports complete");
+        assert!(!t.ack(ShootdownId(999), 1));
+        assert!(!t.is_complete(ShootdownId(999)));
+    }
+
+    #[test]
+    #[should_panic(expected = "pending")]
+    fn finish_with_pending_acks_panics() {
+        let mut t = ShootdownTable::new();
+        let id = t.start(0, 0, [1, 2], SimTime::ZERO);
+        t.finish(id);
+    }
+
+    #[test]
+    fn vcpus_owing_acks_unions_inflight() {
+        let mut t = ShootdownTable::new();
+        let a = t.start(0, 0, [1, 2], SimTime::ZERO);
+        let _b = t.start(3, 1, [2, 4], SimTime::ZERO);
+        t.ack(a, 2);
+        let owing: Vec<u16> = t.vcpus_owing_acks().into_iter().collect();
+        assert_eq!(owing, vec![1, 2, 4]);
+    }
+
+    proptest! {
+        /// Completion requires exactly the target set to ack, in any order.
+        #[test]
+        fn prop_completion_needs_all_targets(
+            targets in proptest::collection::btree_set(1u16..12, 1..11),
+            order in any::<u64>(),
+        ) {
+            let mut t = ShootdownTable::new();
+            let id = t.start(0, 0, targets.clone(), SimTime::ZERO);
+            let mut list: Vec<u16> = targets.iter().copied().collect();
+            // Deterministic shuffle from the seed.
+            let mut rng = simcore::rng::SimRng::new(order);
+            for i in (1..list.len()).rev() {
+                list.swap(i, rng.below(i as u64 + 1) as usize);
+            }
+            for (n, vcpu) in list.iter().enumerate() {
+                prop_assert!(!t.is_complete(id));
+                let done = t.ack(id, *vcpu);
+                prop_assert_eq!(done, n + 1 == list.len());
+            }
+            prop_assert!(t.is_complete(id));
+        }
+    }
+}

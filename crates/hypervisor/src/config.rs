@@ -1,0 +1,162 @@
+//! Machine configuration: topology, scheduler parameters, and cost model.
+
+use simcore::time::SimDuration;
+
+/// Full configuration of a simulated host.
+///
+/// Defaults reproduce the paper's testbed (§6.1): one 12-thread socket,
+/// Xen 4.7 credit scheduler with a 30 ms slice, a 0.1 ms micro-slice pool,
+/// and PLE enabled. All costs are calibrated to commodity x86 numbers.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of physical CPUs (hardware threads).
+    pub num_pcpus: u16,
+    /// Scheduler time slice in the normal pool (Xen credit default 30 ms).
+    pub normal_slice: SimDuration,
+    /// Scheduler time slice in the micro-sliced pool (0.1 ms; §4).
+    pub micro_slice: SimDuration,
+    /// Credit debit tick (Xen: 10 ms).
+    pub tick: SimDuration,
+    /// Credit refill/accounting period (Xen: 30 ms).
+    pub account_period: SimDuration,
+    /// Credits debited from the running vCPU per tick.
+    pub credits_per_tick: i64,
+    /// Credit cap per vCPU (one full slice's worth).
+    pub credit_cap: i64,
+    /// Relative jitter applied to each normal-pool slice (0.08 = ±8%).
+    ///
+    /// Real schedulers desynchronize across pCPUs through ticks, boosts,
+    /// and I/O; a deterministic simulation needs explicit jitter or every
+    /// pCPU flips VMs at the same instant, which hides lock-holder
+    /// preemption and TLB straggling entirely.
+    pub slice_jitter_frac: f64,
+    /// Guest spin time before a pause-loop exit fires.
+    pub ple_window: SimDuration,
+    /// Whether PLE is enabled (the paper's testbed has it on).
+    pub ple_enabled: bool,
+    /// Spin budget before an IPI-waiting guest voluntarily yields
+    /// (the paravirtualized `xen_smp_send_call_function_ipi` path; §5).
+    pub ipi_spin_budget: SimDuration,
+    /// Whether wakeup boosting is enabled (Xen BOOST).
+    pub boost_enabled: bool,
+    /// Probability that a load-balancing steal attempt succeeds.
+    ///
+    /// Xen's `csched_load_balance` walks peer pCPUs with `trylock` on
+    /// their run-queue locks and gives up on contention ("we scan the
+    /// runqueue of the peer, but only with the lock held... if we can't
+    /// get the lock, just skip it"), so under load most steal attempts
+    /// fail. 1.0 = always succeed (an idealized balancer).
+    pub steal_success_prob: f64,
+    /// Whether credits are debited by sampling the running vCPU at each
+    /// tick (Xen credit1's actual behaviour) instead of charging exact
+    /// runtime. Sampling misses short run bursts, which is part of why
+    /// spin-churning VMs keep priority on real Xen.
+    pub credit_sampled_ticks: bool,
+    /// Whether a yielding vCPU is re-queued at the absolute tail of its
+    /// run queue regardless of priority — Xen credit1's YIELD flag. This
+    /// is what makes PLE storms so expensive on real Xen: every spin
+    /// yield puts the vCPU behind a potentially full co-runner slice.
+    pub yield_to_tail: bool,
+    /// Direct cost of a vCPU context switch on a pCPU.
+    pub ctx_switch_cost: SimDuration,
+    /// Additional cache-refill penalty when the incoming vCPU belongs to a
+    /// different VM than the previous occupant (§1: "cache pollution").
+    pub cache_refill_cost: SimDuration,
+    /// Latency of delivering an IPI/vIRQ to a *running* vCPU.
+    pub ipi_deliver_latency: SimDuration,
+    /// CPU cost of handling one TLB-flush IPI (receive side).
+    pub tlb_flush_cost: SimDuration,
+    /// CPU cost of handling one reschedule IPI.
+    pub resched_handle_cost: SimDuration,
+    /// CPU cost of the device IRQ handler (`e1000_intr`).
+    pub irq_cost: SimDuration,
+    /// CPU cost of softIRQ processing per packet (`net_rx_action`).
+    pub softirq_per_pkt: SimDuration,
+    /// Guest-level time slice when multiple tasks share a vCPU (CFS-ish).
+    pub guest_slice: SimDuration,
+    /// Maximum vCPUs queued per micro-pool pCPU (§5 caps this at one).
+    pub micro_runq_cap: usize,
+    /// RNG seed for the whole machine.
+    pub seed: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            num_pcpus: 12,
+            normal_slice: SimDuration::from_millis(30),
+            micro_slice: SimDuration::from_micros(100),
+            tick: SimDuration::from_millis(10),
+            account_period: SimDuration::from_millis(30),
+            slice_jitter_frac: 0.08,
+            credits_per_tick: 100,
+            credit_cap: 300,
+            ple_window: SimDuration::from_micros(25),
+            ple_enabled: true,
+            ipi_spin_budget: SimDuration::from_micros(25),
+            boost_enabled: true,
+            steal_success_prob: 1.0,
+            credit_sampled_ticks: true,
+            yield_to_tail: true,
+            ctx_switch_cost: SimDuration::from_micros(5),
+            cache_refill_cost: SimDuration::from_micros(12),
+            ipi_deliver_latency: SimDuration::from_micros(1),
+            tlb_flush_cost: SimDuration::from_micros(3),
+            resched_handle_cost: SimDuration::from_micros(2),
+            irq_cost: SimDuration::from_micros(2),
+            softirq_per_pkt: SimDuration::from_micros(5),
+            guest_slice: SimDuration::from_millis(4),
+            micro_runq_cap: 1,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper's testbed: 12 pCPUs, defaults everywhere.
+    pub fn paper_testbed() -> Self {
+        Self::default()
+    }
+
+    /// A small topology for fast unit tests.
+    pub fn small(num_pcpus: u16) -> Self {
+        MachineConfig {
+            num_pcpus,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the seed, builder-style.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = MachineConfig::default();
+        assert_eq!(c.num_pcpus, 12);
+        assert_eq!(c.normal_slice, SimDuration::from_millis(30));
+        assert_eq!(c.micro_slice, SimDuration::from_micros(100));
+        assert_eq!(c.tick, SimDuration::from_millis(10));
+        assert!(c.ple_enabled);
+        assert!(c.boost_enabled);
+        assert_eq!(c.micro_runq_cap, 1);
+    }
+
+    #[test]
+    fn builders() {
+        let c = MachineConfig::small(2).with_seed(42);
+        assert_eq!(c.num_pcpus, 2);
+        assert_eq!(c.seed, 42);
+        assert_eq!(
+            MachineConfig::paper_testbed().num_pcpus,
+            MachineConfig::default().num_pcpus
+        );
+    }
+}

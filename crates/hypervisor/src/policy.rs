@@ -1,0 +1,78 @@
+//! The scheduler-policy hook interface.
+//!
+//! The paper's mechanism lives entirely in the hypervisor (§5): it observes
+//! yields (PLE and voluntary), IRQ/IPI relays, and timers, and reacts by
+//! migrating vCPUs into the micro-sliced pool and resizing that pool. This
+//! trait is the seam between the substrate (this crate) and the
+//! contribution (the `microslice` crate): the machine calls the hooks at
+//! exactly the points the paper instruments in Xen.
+
+use crate::machine::Machine;
+pub use crate::stats::YieldCause;
+use simcore::ids::{VcpuId, VmId};
+
+/// Scheduling policy hooks, called by the machine at Xen's
+/// instrumentation points.
+///
+/// All hooks default to no-ops, so a policy overrides only what it needs.
+/// Hooks receive `&mut Machine` and may use the machine's policy-facing
+/// API (migration, pool resizing, timers, statistics).
+pub trait SchedPolicy {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called once before the simulation starts.
+    fn on_init(&mut self, machine: &mut Machine) {
+        let _ = machine;
+    }
+
+    /// Called when a vCPU yields its pCPU — involuntarily (PLE) or
+    /// voluntarily (yield hypercall / halt). This is the
+    /// `vcpu_yield()` hook of §5. The vCPU is still in place; the machine
+    /// deschedules it after the hook returns.
+    fn on_yield(&mut self, machine: &mut Machine, vcpu: VcpuId, cause: YieldCause) {
+        let _ = (machine, vcpu, cause);
+    }
+
+    /// Called when the hypervisor relays a virtual IRQ (I/O interrupt) to
+    /// `target`, before delivery (§4.2 "I/Os are handled in a similar
+    /// manner").
+    fn on_virq(&mut self, machine: &mut Machine, vm: VmId, target: VcpuId) {
+        let _ = (machine, vm, target);
+    }
+
+    /// Called when the hypervisor relays a guest reschedule IPI to
+    /// `target`, before delivery.
+    fn on_resched_ipi(&mut self, machine: &mut Machine, target: VcpuId) {
+        let _ = (machine, target);
+    }
+
+    /// Called when a policy timer set via
+    /// [`Machine::set_policy_timer`] fires.
+    fn on_timer(&mut self, machine: &mut Machine, id: u64) {
+        let _ = (machine, id);
+    }
+}
+
+/// Vanilla Xen behaviour: no micro-sliced cores, no detection.
+///
+/// Boosting and PLE still apply — they are substrate features the paper's
+/// baseline also has.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaselinePolicy;
+
+impl SchedPolicy for BaselinePolicy {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_a_name() {
+        assert_eq!(BaselinePolicy.name(), "baseline");
+    }
+}

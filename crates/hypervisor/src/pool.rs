@@ -1,0 +1,186 @@
+//! CPU pools: the normal pool and the micro-sliced pool.
+//!
+//! Xen's cpupool mechanism partitions pCPUs into groups with independent
+//! scheduler parameters; the paper forks a child pool with a 0.1 ms time
+//! slice (§5) and moves pCPUs between the pools at runtime (§4.3). Here a
+//! pool is a set of pCPU ids plus the pool-specific scheduling rules.
+
+use simcore::ids::PcpuId;
+use simcore::time::SimDuration;
+
+/// Which pool a pCPU or vCPU currently belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PoolId {
+    /// The default pool (30 ms slice, boosting, load balancing).
+    Normal,
+    /// The micro-sliced pool (0.1 ms slice, capped run queues, no boost
+    /// preemption, vCPUs evicted back to the normal pool after one slice).
+    Micro,
+}
+
+/// The pCPU partition of the host.
+#[derive(Clone, Debug)]
+pub struct PoolSet {
+    /// All pCPUs, in id order; `membership[i]` is the pool of pCPU `i`.
+    membership: Vec<PoolId>,
+    /// Time slice of the normal pool.
+    pub normal_slice: SimDuration,
+    /// Time slice of the micro pool.
+    pub micro_slice: SimDuration,
+}
+
+impl PoolSet {
+    /// Creates a partition with every pCPU in the normal pool.
+    pub fn new(num_pcpus: u16, normal_slice: SimDuration, micro_slice: SimDuration) -> Self {
+        PoolSet {
+            membership: vec![PoolId::Normal; num_pcpus as usize],
+            normal_slice,
+            micro_slice,
+        }
+    }
+
+    /// The pool of a pCPU.
+    pub fn pool_of(&self, pcpu: PcpuId) -> PoolId {
+        self.membership[pcpu.0 as usize]
+    }
+
+    /// The slice length used by a pool.
+    pub fn slice(&self, pool: PoolId) -> SimDuration {
+        match pool {
+            PoolId::Normal => self.normal_slice,
+            PoolId::Micro => self.micro_slice,
+        }
+    }
+
+    /// All pCPUs in a pool, ascending.
+    pub fn members(&self, pool: PoolId) -> Vec<PcpuId> {
+        self.membership
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == pool)
+            .map(|(i, _)| PcpuId(i as u16))
+            .collect()
+    }
+
+    /// Number of pCPUs in a pool.
+    pub fn count(&self, pool: PoolId) -> usize {
+        self.membership.iter().filter(|&&p| p == pool).count()
+    }
+
+    /// Moves a pCPU to a pool. Returns `true` if the membership changed.
+    pub fn assign(&mut self, pcpu: PcpuId, pool: PoolId) -> bool {
+        let slot = &mut self.membership[pcpu.0 as usize];
+        if *slot == pool {
+            false
+        } else {
+            *slot = pool;
+            true
+        }
+    }
+
+    /// Resizes the micro pool to exactly `n` pCPUs, taking/releasing the
+    /// *highest-indexed* pCPUs first (deterministic, and keeps pCPU 0 — the
+    /// credit master — in the normal pool, as the paper's implementation
+    /// does). Returns the pCPUs whose membership changed.
+    ///
+    /// `n` is clamped to `num_pcpus - 1`: the normal pool never empties.
+    pub fn resize_micro(&mut self, n: usize) -> Vec<PcpuId> {
+        let total = self.membership.len();
+        let n = n.min(total.saturating_sub(1));
+        let mut changed = Vec::new();
+        // Desired micro set: the n highest-indexed pCPUs.
+        for i in 0..total {
+            let want = if i >= total - n {
+                PoolId::Micro
+            } else {
+                PoolId::Normal
+            };
+            if self.assign(PcpuId(i as u16), want) {
+                changed.push(PcpuId(i as u16));
+            }
+        }
+        changed
+    }
+
+    /// Total number of pCPUs.
+    pub fn num_pcpus(&self) -> usize {
+        self.membership.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pools() -> PoolSet {
+        PoolSet::new(
+            12,
+            SimDuration::from_millis(30),
+            SimDuration::from_micros(100),
+        )
+    }
+
+    #[test]
+    fn starts_all_normal() {
+        let p = pools();
+        assert_eq!(p.count(PoolId::Normal), 12);
+        assert_eq!(p.count(PoolId::Micro), 0);
+        assert_eq!(p.members(PoolId::Normal).len(), 12);
+        assert_eq!(p.num_pcpus(), 12);
+    }
+
+    #[test]
+    fn slices_per_pool() {
+        let p = pools();
+        assert_eq!(p.slice(PoolId::Normal), SimDuration::from_millis(30));
+        assert_eq!(p.slice(PoolId::Micro), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn resize_takes_highest_indices() {
+        let mut p = pools();
+        let changed = p.resize_micro(3);
+        assert_eq!(changed, vec![PcpuId(9), PcpuId(10), PcpuId(11)]);
+        assert_eq!(p.pool_of(PcpuId(9)), PoolId::Micro);
+        assert_eq!(p.pool_of(PcpuId(8)), PoolId::Normal);
+        // Shrinking returns the lower ones first.
+        let changed = p.resize_micro(1);
+        assert_eq!(changed, vec![PcpuId(9), PcpuId(10)]);
+        assert_eq!(p.pool_of(PcpuId(11)), PoolId::Micro);
+        assert_eq!(p.count(PoolId::Micro), 1);
+    }
+
+    #[test]
+    fn resize_to_same_size_changes_nothing() {
+        let mut p = pools();
+        p.resize_micro(2);
+        assert!(p.resize_micro(2).is_empty());
+    }
+
+    #[test]
+    fn normal_pool_never_empties() {
+        let mut p = pools();
+        p.resize_micro(100);
+        assert_eq!(p.count(PoolId::Normal), 1);
+        assert_eq!(p.pool_of(PcpuId(0)), PoolId::Normal);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_resize_invariants(sizes in proptest::collection::vec(0usize..14, 1..20)) {
+            let mut p = pools();
+            for n in sizes {
+                p.resize_micro(n);
+                let micro = p.count(PoolId::Micro);
+                prop_assert_eq!(micro, n.min(11));
+                prop_assert_eq!(p.count(PoolId::Normal) + micro, 12);
+                // Micro members are always a suffix of the id range.
+                let members = p.members(PoolId::Micro);
+                for (k, m) in members.iter().enumerate() {
+                    prop_assert_eq!(m.0 as usize, 12 - members.len() + k);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based fuzzing of the machine: random topologies, random
+//! stochastic workloads, random policies — the simulation must never
+//! panic, never lose work, and always keep its accounting consistent.
+
+use guest::segment::{Program, Segment};
+use hypervisor::{BaselinePolicy, Machine, MachineConfig, VmSpec};
+use proptest::prelude::*;
+use simcore::ids::VmId;
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+
+/// A stochastic program whose behaviour mix is driven by three weights.
+struct FuzzProgram {
+    kernel_weight: f64,
+    lock_weight: f64,
+    tlb_weight: f64,
+    num_vcpus: u16,
+}
+
+impl Program for FuzzProgram {
+    fn next_segment(&mut self, rng: &mut SimRng) -> Segment {
+        let layout = guest::kernel::LockLayout::new(self.num_vcpus);
+        let pick = rng.next_f64() * (1.0 + self.kernel_weight + self.lock_weight + self.tlb_weight);
+        if pick < 1.0 {
+            if rng.chance(0.3) {
+                Segment::WorkUnit
+            } else {
+                Segment::User {
+                    dur: rng.exp_duration(SimDuration::from_micros(80)),
+                }
+            }
+        } else if pick < 1.0 + self.kernel_weight {
+            Segment::Kernel {
+                sym: "sys_read",
+                dur: rng.exp_duration(SimDuration::from_micros(6)),
+            }
+        } else if pick < 1.0 + self.kernel_weight + self.lock_weight {
+            Segment::Critical {
+                lock: layout.page_alloc(),
+                sym: "get_page_from_freelist",
+                hold: rng.exp_duration(SimDuration::from_micros(4)),
+            }
+        } else {
+            Segment::TlbShootdown {
+                local_cost: SimDuration::from_micros(2),
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fuzz"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // Each case simulates 300 ms on a multi-VM machine.
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_scenarios_never_break_the_machine(
+        seed in any::<u64>(),
+        num_pcpus in 1u16..8,
+        vcpus_a in 1u16..8,
+        vcpus_b in 1u16..8,
+        kernel_weight in 0.0f64..0.5,
+        lock_weight in 0.0f64..0.5,
+        tlb_weight in 0.0f64..0.3,
+        micro in 0usize..3,
+    ) {
+        let mk = |n: u16| -> VmSpec {
+            VmSpec::new("fuzz", n).task_per_vcpu(move |_| {
+                Box::new(FuzzProgram {
+                    kernel_weight,
+                    lock_weight,
+                    tlb_weight,
+                    num_vcpus: n,
+                })
+            })
+        };
+        let cfg = MachineConfig::small(num_pcpus).with_seed(seed);
+        let policy: Box<dyn hypervisor::SchedPolicy> = if micro == 0 {
+            Box::new(BaselinePolicy)
+        } else {
+            Box::new(microslice::MicroslicePolicy::fixed(micro))
+        };
+        let mut m = Machine::new(cfg, vec![mk(vcpus_a), mk(vcpus_b)], policy);
+        let window = SimDuration::from_millis(300);
+        m.run_until(SimTime::ZERO + window);
+
+        // Both VMs made progress.
+        prop_assert!(m.vm_work_done(VmId(0)) > 0);
+        prop_assert!(m.vm_work_done(VmId(1)) > 0);
+        // CPU-time accounting never exceeds capacity.
+        let used = m.stats.vm(VmId(0)).cpu_time + m.stats.vm(VmId(1)).cpu_time;
+        let capacity = window * num_pcpus as u64;
+        prop_assert!(
+            used <= capacity,
+            "used {used} exceeds capacity {capacity}"
+        );
+        // No shootdowns leak and all lock stats stay consistent.
+        for vm in 0..2u16 {
+            let kernel = &m.vm(VmId(vm)).kernel;
+            prop_assert!(kernel.shootdowns.inflight_count() <= (vcpus_a + vcpus_b) as usize);
+            for lock in &kernel.locks {
+                prop_assert!(lock.contended <= lock.acquisitions);
+            }
+        }
+        // Scheduler state is coherent: at most one running vCPU per pCPU.
+        let mut seen = std::collections::HashSet::new();
+        for vm in 0..2u16 {
+            for v in m.siblings(VmId(vm)) {
+                if let hypervisor::VState::Running { pcpu, .. } = m.vcpu(v).state {
+                    prop_assert!(seen.insert(pcpu), "two vCPUs running on {pcpu}");
+                }
+            }
+        }
+    }
+}

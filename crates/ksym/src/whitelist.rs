@@ -1,0 +1,300 @@
+//! The Table 3 whitelist: symbol → critical-service classification.
+//!
+//! When a vCPU yields, the hypervisor resolves its instruction pointer and
+//! asks this whitelist *what kind* of critical OS service (if any) was
+//! preempted. The class determines the handling policy (§4.2): TLB/IPI waits
+//! migrate all preempted siblings, spin waits migrate the lock holder, IRQ
+//! work migrates the recipient vCPU.
+
+use crate::table::SymbolTable;
+use std::collections::HashMap;
+
+/// The kind of critical OS service a kernel symbol belongs to.
+///
+/// Derived from Table 3 of the paper plus the yield sites of §5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CriticalClass {
+    /// Waiting for IPI acknowledgements (`smp_call_function_*`,
+    /// `native_flush_tlb_others`) — the one-to-many TLB/function-call case.
+    IpiWait,
+    /// Handling a TLB flush request on the receiving side
+    /// (`flush_tlb_func`, `do_flush_tlb_all`, ...).
+    TlbHandler,
+    /// Spinning to acquire a lock (`_raw_spin_lock`, queued-spinlock
+    /// slowpath) — the PLE yield site.
+    SpinWait,
+    /// Inside a spinlock-protected critical section or releasing one
+    /// (`__raw_spin_unlock*`, page allocator internals).
+    SpinlockCritical,
+    /// Scheduler wakeup / reschedule-IPI machinery (`kick_process`,
+    /// `ttwu_*`, `scheduler_ipi`, ...).
+    SchedWakeup,
+    /// Read-write semaphore wakeup (`rwsem_wake`, `__rwsem_do_wake`).
+    RwsemWake,
+    /// Interrupt entry/exit and softIRQ processing (`irq_enter`,
+    /// `net_rx_action`, device IRQ handlers).
+    Irq,
+    /// Anything else — not a critical service; never accelerated.
+    NotCritical,
+}
+
+impl CriticalClass {
+    /// True for every class the micro-slice mechanism accelerates.
+    pub fn is_critical(self) -> bool {
+        self != CriticalClass::NotCritical
+    }
+}
+
+/// The whitelist mapping kernel function names to [`CriticalClass`].
+///
+/// # Examples
+///
+/// ```
+/// use ksym::whitelist::{CriticalClass, Whitelist};
+///
+/// let wl = Whitelist::linux44();
+/// assert_eq!(wl.class_of("kick_process"), CriticalClass::SchedWakeup);
+/// assert_eq!(wl.class_of("sys_read"), CriticalClass::NotCritical);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Whitelist {
+    classes: HashMap<&'static str, CriticalClass>,
+    /// Registered user-space critical regions: `(start, end, class)`.
+    ///
+    /// §4.4 of the paper sketches this as future work: "a new user-level
+    /// interface can be added to describe the user-level critical
+    /// sections ... the hypervisor will be able to register the critical
+    /// regions in its separate per-process symbol table, and accelerate
+    /// those regions on the micro-sliced CPU pool".
+    user_regions: Vec<(u64, u64, CriticalClass)>,
+}
+
+/// The Table 3 whitelist entries for Linux 4.4 (name, class).
+pub const LINUX44_WHITELIST: &[(&str, CriticalClass)] = &[
+    // irq module.
+    ("irq_enter", CriticalClass::Irq),
+    ("irq_exit", CriticalClass::Irq),
+    ("handle_percpu_irq", CriticalClass::Irq),
+    ("e1000_intr", CriticalClass::Irq),
+    ("net_rx_action", CriticalClass::Irq),
+    ("__do_softirq", CriticalClass::Irq),
+    // kernel/smp.c — senders waiting for acknowledgements.
+    ("smp_call_function_single", CriticalClass::IpiWait),
+    ("smp_call_function_many", CriticalClass::IpiWait),
+    ("native_flush_tlb_others", CriticalClass::IpiWait),
+    // mm/tlb.c — receive-side flush work.
+    ("do_flush_tlb_all", CriticalClass::TlbHandler),
+    ("flush_tlb_all", CriticalClass::TlbHandler),
+    ("flush_tlb_func", CriticalClass::TlbHandler),
+    ("flush_tlb_current_task", CriticalClass::TlbHandler),
+    ("flush_tlb_mm_range", CriticalClass::TlbHandler),
+    ("flush_tlb_page", CriticalClass::TlbHandler),
+    ("leave_mm", CriticalClass::TlbHandler),
+    // mm — page allocator paths that run under zone spinlocks.
+    ("get_page_from_freelist", CriticalClass::SpinlockCritical),
+    ("free_one_page", CriticalClass::SpinlockCritical),
+    ("release_pages", CriticalClass::SpinlockCritical),
+    // sched/core.c.
+    ("scheduler_ipi", CriticalClass::SchedWakeup),
+    ("resched_curr", CriticalClass::SchedWakeup),
+    ("kick_process", CriticalClass::SchedWakeup),
+    ("sched_ttwu_pending", CriticalClass::SchedWakeup),
+    ("ttwu_do_activate", CriticalClass::SchedWakeup),
+    ("ttwu_do_wakeup", CriticalClass::SchedWakeup),
+    // spinlock release paths — the vCPU is inside a critical section.
+    ("__raw_spin_unlock", CriticalClass::SpinlockCritical),
+    ("__raw_spin_unlock_irq", CriticalClass::SpinlockCritical),
+    ("_raw_spin_unlock_irqrestore", CriticalClass::SpinlockCritical),
+    ("_raw_spin_unlock_bh", CriticalClass::SpinlockCritical),
+    // Spin acquisition slowpaths — the PLE yield sites.
+    ("_raw_spin_lock", CriticalClass::SpinWait),
+    ("native_queued_spin_lock_slowpath", CriticalClass::SpinWait),
+    // rwsem.
+    ("__rwsem_do_wake", CriticalClass::RwsemWake),
+    ("rwsem_wake", CriticalClass::RwsemWake),
+];
+
+impl Whitelist {
+    /// The whitelist for the synthetic Linux 4.4 guest (Table 3).
+    pub fn linux44() -> Self {
+        Whitelist {
+            classes: LINUX44_WHITELIST.iter().copied().collect(),
+            user_regions: Vec::new(),
+        }
+    }
+
+    /// An empty whitelist: classifies everything as non-critical. Used for
+    /// "detection disabled" baselines and ablations.
+    pub fn empty() -> Self {
+        Whitelist {
+            classes: HashMap::new(),
+            user_regions: Vec::new(),
+        }
+    }
+
+    /// Registers a user-space critical region `[start, end)` (the §4.4
+    /// extension). Instruction pointers inside it classify as `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn register_user_region(&mut self, start: u64, end: u64, class: CriticalClass) {
+        assert!(start < end, "empty user region");
+        self.user_regions.push((start, end, class));
+    }
+
+    /// Number of registered user regions.
+    pub fn user_region_count(&self) -> usize {
+        self.user_regions.len()
+    }
+
+    /// Classifies a function name.
+    pub fn class_of(&self, name: &str) -> CriticalClass {
+        self.classes
+            .get(name)
+            .copied()
+            .unwrap_or(CriticalClass::NotCritical)
+    }
+
+    /// Classifies an instruction pointer against a symbol table — the exact
+    /// operation the hypervisor performs on every yield (§4.1).
+    ///
+    /// Unmapped addresses (user space, modules we do not model) are
+    /// [`CriticalClass::NotCritical`].
+    pub fn classify(&self, table: &SymbolTable, ip: u64) -> CriticalClass {
+        match table.resolve(ip) {
+            Some(sym) => self.class_of(&sym.name),
+            None => self
+                .user_regions
+                .iter()
+                .find(|&&(start, end, _)| (start..end).contains(&ip))
+                .map(|&(_, _, class)| class)
+                .unwrap_or(CriticalClass::NotCritical),
+        }
+    }
+
+    /// Number of whitelisted functions.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True if the whitelist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linux44::{Linux44Map, CRITICAL_FUNCTIONS, ORDINARY_FUNCTIONS, USER_IP};
+
+    #[test]
+    fn every_critical_function_is_whitelisted() {
+        let wl = Whitelist::linux44();
+        for name in CRITICAL_FUNCTIONS {
+            assert!(
+                wl.class_of(name).is_critical(),
+                "{name} should be critical"
+            );
+        }
+    }
+
+    #[test]
+    fn ordinary_functions_are_not_critical() {
+        let wl = Whitelist::linux44();
+        for name in ORDINARY_FUNCTIONS {
+            assert_eq!(
+                wl.class_of(name),
+                CriticalClass::NotCritical,
+                "{name} must not be critical"
+            );
+        }
+    }
+
+    #[test]
+    fn classify_by_instruction_pointer() {
+        let map = Linux44Map::new();
+        let wl = Whitelist::linux44();
+        let cases = [
+            ("native_flush_tlb_others", CriticalClass::IpiWait),
+            ("flush_tlb_func", CriticalClass::TlbHandler),
+            ("_raw_spin_lock", CriticalClass::SpinWait),
+            ("__raw_spin_unlock", CriticalClass::SpinlockCritical),
+            ("ttwu_do_wakeup", CriticalClass::SchedWakeup),
+            ("rwsem_wake", CriticalClass::RwsemWake),
+            ("net_rx_action", CriticalClass::Irq),
+            ("sys_mmap", CriticalClass::NotCritical),
+        ];
+        for (name, class) in cases {
+            assert_eq!(wl.classify(map.table(), map.ip_in(name)), class, "{name}");
+        }
+    }
+
+    #[test]
+    fn user_space_ip_is_never_critical() {
+        let map = Linux44Map::new();
+        let wl = Whitelist::linux44();
+        assert_eq!(
+            wl.classify(map.table(), USER_IP),
+            CriticalClass::NotCritical
+        );
+    }
+
+    #[test]
+    fn empty_whitelist_disables_detection() {
+        let map = Linux44Map::new();
+        let wl = Whitelist::empty();
+        assert!(wl.is_empty());
+        assert_eq!(
+            wl.classify(map.table(), map.ip_in("smp_call_function_many")),
+            CriticalClass::NotCritical
+        );
+    }
+
+    #[test]
+    fn user_regions_extend_classification() {
+        let map = Linux44Map::new();
+        let mut wl = Whitelist::linux44();
+        assert_eq!(wl.user_region_count(), 0);
+        // The default user IP is non-critical...
+        assert_eq!(
+            wl.classify(map.table(), USER_IP),
+            CriticalClass::NotCritical
+        );
+        // ...until its region is registered (§4.4 extension).
+        wl.register_user_region(
+            USER_IP - 0x100,
+            USER_IP + 0x100,
+            CriticalClass::SpinlockCritical,
+        );
+        assert_eq!(wl.user_region_count(), 1);
+        assert_eq!(
+            wl.classify(map.table(), USER_IP),
+            CriticalClass::SpinlockCritical
+        );
+        // Kernel addresses still resolve through the symbol table first.
+        assert_eq!(
+            wl.classify(map.table(), map.ip_in("kick_process")),
+            CriticalClass::SchedWakeup
+        );
+        // Outside the region stays non-critical.
+        assert_eq!(
+            wl.classify(map.table(), USER_IP + 0x200),
+            CriticalClass::NotCritical
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty user region")]
+    fn empty_user_region_panics() {
+        Whitelist::linux44().register_user_region(10, 10, CriticalClass::SpinWait);
+    }
+
+    #[test]
+    fn whitelist_size_matches_table() {
+        let wl = Whitelist::linux44();
+        assert_eq!(wl.len(), LINUX44_WHITELIST.len());
+        assert!(!wl.is_empty());
+    }
+}

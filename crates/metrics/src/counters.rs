@@ -1,0 +1,173 @@
+//! Named monotonic event counters with snapshot/delta support.
+//!
+//! The adaptive controller of the paper (§4.3, Algorithm 1) decides how many
+//! micro-sliced cores to reserve by comparing the number of IPIs, PLEs, and
+//! virtual IRQs observed in each profiling interval. That requires cheap
+//! monotonic counters plus the ability to take a snapshot and compute the
+//! delta since the previous one — exactly what [`CounterSet`] provides.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// A set of named monotonic `u64` counters.
+///
+/// Counter names are interned as `&'static str` so incrementing is a map
+/// lookup without allocation; a `BTreeMap` keeps iteration order stable for
+/// deterministic reports.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::counters::CounterSet;
+///
+/// let mut c = CounterSet::new();
+/// c.incr("ple_exits");
+/// c.add("ipis", 3);
+/// let snap = c.snapshot();
+/// c.add("ipis", 2);
+/// assert_eq!(c.delta_since(&snap).get("ipis"), 2);
+/// assert_eq!(c.get("ipis"), 5);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        CounterSet {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Increments `name` by one.
+    #[inline]
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increments `name` by `n`.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counts.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of `name` (zero if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// A copy of the current values.
+    pub fn snapshot(&self) -> CounterSet {
+        self.clone()
+    }
+
+    /// The per-counter increase since `earlier` (saturating at zero, so a
+    /// stale snapshot never produces bogus negative deltas).
+    pub fn delta_since(&self, earlier: &CounterSet) -> CounterSet {
+        let mut delta = CounterSet::new();
+        for (&name, &now) in &self.counts {
+            let before = earlier.get(name);
+            if now > before {
+                delta.counts.insert(name, now - before);
+            }
+        }
+        delta
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Sum of all counter values.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// True if no counter was ever incremented.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Resets every counter to zero (removing all entries).
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+}
+
+impl fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, value) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={value}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_and_get() {
+        let mut c = CounterSet::new();
+        assert_eq!(c.get("x"), 0);
+        c.incr("x");
+        c.incr("x");
+        c.add("y", 10);
+        assert_eq!(c.get("x"), 2);
+        assert_eq!(c.get("y"), 10);
+        assert_eq!(c.total(), 12);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let mut c = CounterSet::new();
+        c.add("ipis", 5);
+        let snap = c.snapshot();
+        c.add("ipis", 7);
+        c.add("ples", 2);
+        let d = c.delta_since(&snap);
+        assert_eq!(d.get("ipis"), 7);
+        assert_eq!(d.get("ples"), 2);
+        assert_eq!(d.get("virqs"), 0);
+    }
+
+    #[test]
+    fn delta_against_newer_snapshot_saturates() {
+        let mut c = CounterSet::new();
+        c.add("x", 3);
+        let newer = {
+            let mut n = c.clone();
+            n.add("x", 10);
+            n
+        };
+        let d = c.delta_since(&newer);
+        assert_eq!(d.get("x"), 0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let mut c = CounterSet::new();
+        c.add("zeta", 1);
+        c.add("alpha", 2);
+        assert_eq!(c.to_string(), "alpha=2 zeta=1");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = CounterSet::new();
+        c.incr("x");
+        c.reset();
+        assert!(c.is_empty());
+        assert_eq!(c.get("x"), 0);
+    }
+}

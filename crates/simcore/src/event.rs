@@ -1,0 +1,253 @@
+//! A cancellable, stably ordered discrete-event queue.
+//!
+//! Events at equal timestamps pop in insertion order, which makes the
+//! simulation deterministic regardless of heap internals. Cancellation is
+//! lazy: [`EventQueue::cancel`] marks a key and the queue skips the entry
+//! when it surfaces, which keeps both operations `O(log n)` amortised.
+
+use core::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// A handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventKey(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A priority queue of timestamped events with stable FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::event::EventQueue;
+/// use simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// let key = q.push(SimTime::from_micros(10), 'a');
+/// q.push(SimTime::from_micros(10), 'b');
+/// q.cancel(key);
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), 'b')));
+/// assert!(q.is_empty());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Sequence numbers of events pushed but neither popped nor cancelled.
+    pending: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`, returning a cancellation key.
+    pub fn push(&mut self, at: SimTime, payload: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+        self.pending.insert(seq);
+        EventKey(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending; cancelling an already
+    /// fired or already cancelled event returns `false` and is harmless.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.pending.remove(&key.0)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some((entry.at, entry.payload));
+            }
+            // Cancelled entry: skip it.
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled entries off the top so the peek is accurate.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), 3);
+        q.push(SimTime::from_micros(10), 1);
+        q.push(SimTime::from_micros(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_micros(1), 'a');
+        let b = q.push(SimTime::from_micros(2), 'b');
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(2), 'b')));
+        assert!(!q.cancel(b), "cancel after pop is a no-op");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_bogus_key_is_rejected() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventKey(99)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_micros(1), 'a');
+        q.push(SimTime::from_micros(5), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), 'b')));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = (0..10)
+            .map(|i| q.push(SimTime::from_micros(i), i))
+            .collect();
+        assert_eq!(q.len(), 10);
+        q.cancel(keys[3]);
+        q.cancel(keys[7]);
+        assert_eq!(q.len(), 8);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 8);
+    }
+
+    proptest! {
+        /// Popped timestamps are non-decreasing and every non-cancelled
+        /// event comes out exactly once, for arbitrary push/cancel mixes.
+        #[test]
+        fn prop_total_order_and_conservation(
+            times in proptest::collection::vec(0u64..1_000, 1..200),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let mut q = EventQueue::new();
+            let mut keys = Vec::new();
+            for (i, t) in times.iter().enumerate() {
+                keys.push((i, q.push(SimTime::from_micros(*t), i)));
+            }
+            let mut expected: Vec<usize> = Vec::new();
+            for (i, (id, key)) in keys.iter().enumerate() {
+                if *cancel_mask.get(i).unwrap_or(&false) {
+                    q.cancel(*key);
+                } else {
+                    expected.push(*id);
+                }
+            }
+            let mut out = Vec::new();
+            let mut last = SimTime::ZERO;
+            while let Some((t, id)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                out.push(id);
+            }
+            out.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(out, expected);
+        }
+
+        /// FIFO tie-break: for events at the same instant, pop order equals
+        /// push order.
+        #[test]
+        fn prop_fifo_within_timestamp(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            let t = SimTime::from_millis(7);
+            for i in 0..n {
+                q.push(t, i);
+            }
+            for i in 0..n {
+                prop_assert_eq!(q.pop(), Some((t, i)));
+            }
+        }
+    }
+}

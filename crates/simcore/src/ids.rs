@@ -1,0 +1,119 @@
+//! Identifier newtypes shared across the workspace.
+//!
+//! These live in `simcore` so that the guest-OS model, the hypervisor, and
+//! the micro-slice policy crates can all name the same entities without
+//! depending on one another.
+
+use core::fmt;
+
+/// Identifies a virtual machine (domain) on the host.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VmId(pub u16);
+
+/// Identifies a virtual CPU within a specific VM.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VcpuId {
+    /// The VM this vCPU belongs to.
+    pub vm: VmId,
+    /// The vCPU index within the VM (0-based).
+    pub idx: u16,
+}
+
+/// Identifies a physical CPU (hardware thread) on the host.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PcpuId(pub u16);
+
+/// Identifies a guest task (thread or process) within a specific VM.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId {
+    /// The VM this task runs in.
+    pub vm: VmId,
+    /// The task index within the VM (0-based).
+    pub idx: u32,
+}
+
+/// Identifies a guest kernel spinlock within a specific VM.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LockId {
+    /// The VM whose kernel owns the lock.
+    pub vm: VmId,
+    /// The lock index within the VM's kernel (0-based).
+    pub idx: u16,
+}
+
+impl VcpuId {
+    /// Builds a vCPU id from a VM id and index.
+    pub const fn new(vm: VmId, idx: u16) -> Self {
+        VcpuId { vm, idx }
+    }
+}
+
+impl TaskId {
+    /// Builds a task id from a VM id and index.
+    pub const fn new(vm: VmId, idx: u32) -> Self {
+        TaskId { vm, idx }
+    }
+}
+
+impl LockId {
+    /// Builds a lock id from a VM id and index.
+    pub const fn new(vm: VmId, idx: u16) -> Self {
+        LockId { vm, idx }
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+impl fmt::Display for VcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.v{}", self.vm, self.idx)
+    }
+}
+
+impl fmt::Display for PcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.t{}", self.vm, self.idx)
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.l{}", self.vm, self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let vm = VmId(1);
+        assert_eq!(vm.to_string(), "vm1");
+        assert_eq!(VcpuId::new(vm, 3).to_string(), "vm1.v3");
+        assert_eq!(PcpuId(5).to_string(), "p5");
+        assert_eq!(TaskId::new(vm, 9).to_string(), "vm1.t9");
+        assert_eq!(LockId::new(vm, 2).to_string(), "vm1.l2");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = VcpuId::new(VmId(0), 0);
+        let b = VcpuId::new(VmId(0), 1);
+        let c = VcpuId::new(VmId(1), 0);
+        assert!(a < b && b < c);
+        let set: HashSet<_> = [a, b, c, a].into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! A bounded trace ring buffer — the simulator's `xentrace` analogue.
+//!
+//! The paper's analysis (§3.1) relies on `xentrace` and `perf` logs to
+//! attribute yields to kernel functions. [`TraceBuffer`] provides the same
+//! capability for the simulator: components append timestamped records and
+//! analyses inspect (or drain) them afterwards. The buffer is bounded so
+//! long simulations cannot exhaust memory; when full, the oldest records are
+//! overwritten and a drop counter records the loss.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// A timestamped trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord<T> {
+    /// When the event happened in simulated time.
+    pub at: SimTime,
+    /// The event payload (defined by the tracing component).
+    pub event: T,
+}
+
+/// A bounded ring buffer of trace records.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::time::SimTime;
+/// use simcore::trace::TraceBuffer;
+///
+/// let mut trace = TraceBuffer::new(2);
+/// trace.record(SimTime::from_micros(1), "boot");
+/// trace.record(SimTime::from_micros(2), "yield");
+/// trace.record(SimTime::from_micros(3), "migrate");
+/// assert_eq!(trace.dropped(), 1); // "boot" was overwritten
+/// assert_eq!(trace.iter().count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceBuffer<T> {
+    records: VecDeque<TraceRecord<T>>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl<T> TraceBuffer<T> {
+    /// Creates an enabled buffer holding at most `capacity` records.
+    ///
+    /// A zero capacity creates a buffer that drops everything (useful to
+    /// disable tracing without changing call sites).
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled buffer: records are discarded without counting.
+    pub fn disabled() -> Self {
+        TraceBuffer {
+            records: VecDeque::new(),
+            capacity: 0,
+            dropped: 0,
+            enabled: false,
+        }
+    }
+
+    /// Enables or disables recording at runtime.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True if the buffer is currently recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record, evicting the oldest one if the buffer is full.
+    pub fn record(&mut self, at: SimTime, event: T) {
+        if !self.enabled {
+            return;
+        }
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { at, event });
+    }
+
+    /// Iterates over the retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord<T>> {
+        self.records.iter()
+    }
+
+    /// Removes and returns all retained records, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceRecord<T>> {
+        self.records.drain(..).collect()
+    }
+
+    /// Number of records lost to capacity eviction (or zero-capacity drops).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = TraceBuffer::new(10);
+        for i in 0..5u64 {
+            t.record(SimTime::from_micros(i), i);
+        }
+        let times: Vec<u64> = t.iter().map(|r| r.at.as_micros()).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            t.record(SimTime::from_micros(i), i);
+        }
+        let events: Vec<u64> = t.iter().map(|r| r.event).collect();
+        assert_eq!(events, vec![2, 3, 4]);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_counts_drops() {
+        let mut t = TraceBuffer::new(0);
+        t.record(SimTime::ZERO, "x");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn disabled_buffer_discards_silently() {
+        let mut t = TraceBuffer::disabled();
+        assert!(!t.is_enabled());
+        t.record(SimTime::ZERO, "x");
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        t.set_enabled(true);
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn drain_empties_buffer() {
+        let mut t = TraceBuffer::new(4);
+        t.record(SimTime::from_micros(1), 'a');
+        t.record(SimTime::from_micros(2), 'b');
+        let drained = t.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].event, 'a');
+        assert!(t.is_empty());
+    }
+}

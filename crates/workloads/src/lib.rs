@@ -1,0 +1,30 @@
+//! Synthetic models of the paper's benchmark applications.
+//!
+//! The paper evaluates PARSEC and MOSBENCH applications, SPEC CPU2006
+//! programs, `memclone`, `lookbusy`, and iPerf (§6.1). We cannot run those
+//! binaries inside a simulated guest; instead, each application is modeled
+//! as a stochastic stream of [`guest::segment::Segment`]s calibrated to
+//! the paper's own characterization of *which kernel services each one
+//! stresses* (§3.1):
+//!
+//! - **exim, gmake** — spinlock-heavy (PLE/lock-holder preemption),
+//! - **dedup, vips** — `mmap`/`munmap` TLB-shootdown storms,
+//! - **memclone** — page-allocator lock pressure,
+//! - **psearchy** — locks plus sleep/wake (halt) cycles,
+//! - **swaptions, SPEC, blackscholes, …** — pure user computation,
+//! - **iPerf / lookbusy** — network I/O and a CPU anchor for the mixed
+//!   vCPU experiments.
+//!
+//! [`profile::WorkloadProfile`] is the parameter block (user-phase length,
+//! lock mix, TLB/wake/block probabilities); [`profile::ProfileProgram`] is
+//! the generic engine turning a profile into a segment stream;
+//! [`catalog`] holds the calibrated per-application profiles; and
+//! [`scenarios`] assembles the VM specs of the paper's experiments (solo,
+//! co-run, mixed co-run, pinned single-core pairs).
+
+pub mod catalog;
+pub mod profile;
+pub mod scenarios;
+
+pub use catalog::Workload;
+pub use profile::{LockChoice, LockOp, ProfileProgram, WorkloadProfile};

@@ -1,0 +1,75 @@
+//! Consolidation study: sweep the micro-pool size for any workload pair.
+//!
+//! ```text
+//! cargo run --release --example consolidation_study -- dedup
+//! cargo run --release --example consolidation_study -- exim --cores 4
+//! ```
+//!
+//! Reproduces a single column of the paper's Figure 4/5 sweep: the chosen
+//! workload co-runs with swaptions under the baseline and 1..=N static
+//! micro-sliced cores, printing normalized performance per configuration.
+
+use experiments::runner::{PolicyKind, RunOptions};
+use experiments::{fig4, fig5};
+use workloads::Workload;
+
+fn parse_workload(name: &str) -> Option<Workload> {
+    Some(match name {
+        "exim" => Workload::Exim,
+        "gmake" => Workload::Gmake,
+        "psearchy" => Workload::Psearchy,
+        "memclone" => Workload::Memclone,
+        "dedup" => Workload::Dedup,
+        "vips" => Workload::Vips,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gmake".to_string());
+    let mut max_cores = 6usize;
+    if args.next().as_deref() == Some("--cores") {
+        if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+            max_cores = n;
+        }
+    }
+    let Some(w) = parse_workload(&name) else {
+        eprintln!("unknown workload {name:?} (try exim/gmake/psearchy/memclone/dedup/vips)");
+        std::process::exit(2);
+    };
+
+    let opts = RunOptions::quick();
+    let mut configs = vec![PolicyKind::Baseline];
+    configs.extend((1..=max_cores).map(PolicyKind::Fixed));
+    configs.push(PolicyKind::Adaptive);
+
+    println!("{} + swaptions, 12 pCPUs, 2:1 overcommit\n", w.name());
+    if w.is_throughput() {
+        println!("{:<10} {:>14} {:>18}", "config", "units/s", "improvement");
+        let mut base = None;
+        for p in configs {
+            let cell = fig5::run_one(&opts, w, p);
+            let b = *base.get_or_insert(cell.throughput);
+            println!(
+                "{:<10} {:>14.0} {:>17.2}x",
+                p.label(),
+                cell.throughput,
+                cell.throughput / b
+            );
+        }
+    } else {
+        println!("{:<10} {:>12} {:>16}", "config", "exec (s)", "normalized");
+        let mut base = None;
+        for p in configs {
+            let cell = fig4::run_one(&opts, w, p);
+            let b = *base.get_or_insert(cell.target_secs);
+            println!(
+                "{:<10} {:>12.2} {:>16.3}",
+                p.label(),
+                cell.target_secs,
+                cell.target_secs / b
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The mixed-vCPU I/O experiment (Figure 9) as a runnable demo.
+//!
+//! ```text
+//! cargo run --release --example io_latency
+//! ```
+//!
+//! Two single-vCPU VMs pinned to the same pCPU: VM-1 hosts an iPerf
+//! server *and* a CPU hog on its only vCPU, VM-2 hosts another hog. The
+//! mixed vCPU is always runnable, so Xen's BOOST never fires for it and
+//! packets wait out entire co-runner slices — until the micro-sliced pool
+//! accelerates the vIRQ recipient.
+
+use hypervisor::{BaselinePolicy, Machine};
+use hypervisor::policy::SchedPolicy;
+use microslice::MicroslicePolicy;
+use simcore::ids::VmId;
+use simcore::time::SimTime;
+use workloads::scenarios;
+
+fn run(policy: Box<dyn SchedPolicy>, label: &str, tcp: bool) {
+    let (cfg, specs) = scenarios::fig9_mixed_pinned(tcp);
+    let mut machine = Machine::new(cfg, specs, policy);
+    machine.run_until(SimTime::from_secs(3));
+    let flow = &machine.vm(VmId(0)).kernel.flows[0];
+    println!(
+        "{label:<22} {:>4}  bandwidth {:>7.1} Mbit/s   jitter {:>7.3} ms   p99 latency {}   drops {}",
+        if tcp { "TCP" } else { "UDP" },
+        flow.throughput_mbps(machine.now()),
+        flow.jitter_ms(),
+        // The p99 is approximated from the latency summary's spread.
+        simcore::time::SimDuration::from_micros_f64(
+            flow.latency_us.mean() + 2.33 * flow.latency_us.std_dev()
+        ),
+        flow.dropped,
+    );
+}
+
+fn main() {
+    println!("Mixed-behaviour vCPU I/O (two pinned single-vCPU VMs)\n");
+    for tcp in [true, false] {
+        run(Box::new(BaselinePolicy), "baseline", tcp);
+        run(Box::new(MicroslicePolicy::fixed(1)), "one micro-sliced core", tcp);
+        println!();
+    }
+    println!("The baseline's jitter is dominated by 30 ms co-runner slices;");
+    println!("accelerating the vIRQ recipient collapses it toward zero (§6, Fig. 9).");
+}

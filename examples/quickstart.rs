@@ -1,0 +1,75 @@
+//! Quickstart: consolidate two VMs, compare vanilla Xen scheduling with
+//! flexible micro-sliced cores.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's testbed (12 pCPUs), boots a lock-hungry `gmake` VM
+//! consolidated 2:1 with a CPU-bound `swaptions` VM, and runs it twice:
+//! once under the baseline credit scheduler and once with one
+//! micro-sliced core accelerating preempted critical OS services.
+
+use hypervisor::{BaselinePolicy, Machine, MachineConfig, VmSpec};
+use hypervisor::policy::SchedPolicy;
+use microslice::MicroslicePolicy;
+use simcore::ids::VmId;
+use simcore::time::SimTime;
+use workloads::{scenarios, Workload};
+
+fn run(policy: Box<dyn SchedPolicy>, label: &str) -> f64 {
+    // A 12-vCPU gmake VM plus a 12-vCPU swaptions VM on 12 pCPUs — the
+    // paper's co-run configuration (§6.1).
+    let cfg = MachineConfig::paper_testbed();
+    let n = cfg.num_pcpus;
+    let specs: Vec<VmSpec> = vec![
+        scenarios::vm_with_iters(Workload::Gmake, n, Some(6_000)),
+        scenarios::vm_with_iters(Workload::Swaptions, n, None),
+    ];
+    let mut machine = Machine::new(cfg, specs, policy);
+    let finished = machine
+        .run_until_vm_finished(VmId(0), SimTime::from_secs(120))
+        .expect("gmake finishes");
+    let secs = finished.as_secs_f64();
+
+    let gmake = machine.stats.vm(VmId(0));
+    println!("--- {label} ---");
+    println!("gmake execution time : {secs:.2} s");
+    println!(
+        "gmake yields         : {} PLE, {} IPI, {} halt",
+        gmake.yields.spinlock, gmake.yields.ipi, gmake.yields.halt
+    );
+    println!(
+        "lock wait (page alloc): mean {}, max {}",
+        machine
+            .vm(VmId(0))
+            .kernel
+            .lock_wait_of(guest::kernel::LockKind::PageAlloc)
+            .mean(),
+        machine
+            .vm(VmId(0))
+            .kernel
+            .lock_wait_of(guest::kernel::LockKind::PageAlloc)
+            .max(),
+    );
+    println!(
+        "micro-pool migrations: {}",
+        machine.stats.counters.get("micro_migrations")
+    );
+    println!();
+    secs
+}
+
+fn main() {
+    println!("Flexible micro-sliced cores — quickstart\n");
+    let baseline = run(Box::new(BaselinePolicy), "baseline (vanilla Xen credit)");
+    let accelerated = run(
+        Box::new(MicroslicePolicy::fixed(1)),
+        "one micro-sliced core (0.1 ms slices)",
+    );
+    println!(
+        "=> micro-slicing changed gmake's execution time by {:+.1}% ({:.2}x speedup)",
+        (accelerated / baseline - 1.0) * 100.0,
+        baseline / accelerated
+    );
+}

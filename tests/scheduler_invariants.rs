@@ -1,0 +1,156 @@
+//! Scheduler invariants, checked by dense sampling of live simulations.
+
+use experiments::runner::{build, PolicyKind, RunOptions};
+use hypervisor::{Machine, PoolId, VState};
+use simcore::ids::{PcpuId, VcpuId, VmId};
+use simcore::time::SimTime;
+use std::collections::HashMap;
+use workloads::{scenarios, Workload};
+
+fn machines() -> Vec<(&'static str, Machine)> {
+    let opts = RunOptions::quick();
+    let mk = |w: Workload, policy: PolicyKind| {
+        let (cfg, _) = scenarios::corun(w);
+        let n = cfg.num_pcpus;
+        let specs = vec![
+            scenarios::vm_with_iters(w, n, None),
+            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+        ];
+        build(&opts, (cfg, specs), policy)
+    };
+    vec![
+        ("gmake/baseline", mk(Workload::Gmake, PolicyKind::Baseline)),
+        ("gmake/fixed2", mk(Workload::Gmake, PolicyKind::Fixed(2))),
+        ("dedup/fixed3", mk(Workload::Dedup, PolicyKind::Fixed(3))),
+        ("exim/adaptive", mk(Workload::Exim, PolicyKind::Adaptive)),
+    ]
+}
+
+fn all_vcpus(m: &Machine) -> Vec<VcpuId> {
+    (0..m.num_vms() as u16)
+        .flat_map(|vm| m.siblings(VmId(vm)))
+        .collect()
+}
+
+fn check_invariants(label: &str, m: &Machine) {
+    let num_pcpus = m.cfg.num_pcpus;
+    // 1. At most one running vCPU per pCPU, and it matches pcpu_current.
+    let mut running: HashMap<PcpuId, VcpuId> = HashMap::new();
+    for v in all_vcpus(m) {
+        if let VState::Running { pcpu, .. } = m.vcpu(v).state {
+            assert!(
+                running.insert(pcpu, v).is_none(),
+                "{label}: two vCPUs running on {pcpu}"
+            );
+            assert_eq!(
+                m.pcpu_current(pcpu),
+                Some(v),
+                "{label}: pCPU bookkeeping out of sync"
+            );
+        }
+    }
+    for p in 0..num_pcpus {
+        let pcpu = PcpuId(p);
+        if let Some(v) = m.pcpu_current(pcpu) {
+            assert_eq!(
+                m.vcpu(v).state,
+                VState::Running {
+                    pcpu,
+                    since: match m.vcpu(v).state {
+                        VState::Running { since, .. } => since,
+                        _ => SimTime::ZERO,
+                    }
+                },
+                "{label}: current vCPU of {pcpu} not in Running state"
+            );
+        }
+    }
+    // 2. A vCPU scheduled on a pCPU sits in the pool that pCPU belongs to.
+    for v in all_vcpus(m) {
+        let vc = m.vcpu(v);
+        if let Some(pcpu) = vc.pcpu() {
+            assert_eq!(
+                vc.pool,
+                m.pcpu_pool(pcpu),
+                "{label}: {v} queued on a pCPU of the wrong pool"
+            );
+        }
+    }
+    // 3. Micro-pool run queues never exceed the cap (§5: one vCPU).
+    for p in 0..num_pcpus {
+        let pcpu = PcpuId(p);
+        if m.pcpu_pool(pcpu) == PoolId::Micro {
+            assert!(
+                m.pcpu_runq_len(pcpu) <= m.cfg.micro_runq_cap,
+                "{label}: micro pCPU {pcpu} queue over the cap"
+            );
+        }
+    }
+    // 4. Credits stay within [-cap, cap].
+    for v in all_vcpus(m) {
+        let c = m.vcpu(v).credits;
+        assert!(
+            (-m.cfg.credit_cap..=m.cfg.credit_cap).contains(&c),
+            "{label}: {v} credits {c} out of range"
+        );
+    }
+    // 5. Affinity is honored (normal pool).
+    for v in all_vcpus(m) {
+        let vc = m.vcpu(v);
+        if vc.pool == PoolId::Normal {
+            if let Some(pcpu) = vc.pcpu() {
+                assert!(
+                    vc.allows(pcpu),
+                    "{label}: {v} placed on {pcpu} outside its affinity"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_under_dense_sampling() {
+    for (label, mut m) in machines() {
+        for step in 1..=600u64 {
+            m.run_until(SimTime::from_micros(step * 1_000));
+            check_invariants(label, &m);
+        }
+    }
+}
+
+#[test]
+fn pinned_vcpus_never_leave_their_pcpu_in_the_normal_pool() {
+    let opts = RunOptions::quick();
+    let (cfg, specs) = scenarios::fig9_mixed_pinned(true);
+    let mut m = build(&opts, (cfg, specs), PolicyKind::Fixed(1));
+    for step in 1..=400u64 {
+        m.run_until(SimTime::from_micros(step * 2_500));
+        for vm in 0..2u16 {
+            let v = VcpuId::new(VmId(vm), 0);
+            let vc = m.vcpu(v);
+            if vc.pool == PoolId::Normal {
+                if let Some(p) = vc.pcpu() {
+                    assert_eq!(p, PcpuId(0), "pinned vCPU drifted to {p}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn micro_pool_empties_when_policy_is_baseline() {
+    let opts = RunOptions::quick();
+    let (cfg, _) = scenarios::corun(Workload::Exim);
+    let n = cfg.num_pcpus;
+    let specs = vec![
+        scenarios::vm_with_iters(Workload::Exim, n, None),
+        scenarios::vm_with_iters(Workload::Swaptions, n, None),
+    ];
+    let mut m = build(&opts, (cfg, specs), PolicyKind::Baseline);
+    m.run_until(SimTime::from_millis(300));
+    assert_eq!(m.micro_cores(), 0);
+    assert_eq!(m.stats.counters.get("micro_migrations"), 0);
+    for v in all_vcpus(&m) {
+        assert_eq!(m.vcpu(v).pool, PoolId::Normal);
+    }
+}
