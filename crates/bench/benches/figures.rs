@@ -30,9 +30,7 @@ fn bench_fig5(c: &mut Criterion) {
 fn bench_fig6(c: &mut Criterion) {
     let opts = print_experiment("fig6");
     c.bench_function("fig6_gmake_dynamic", |b| {
-        b.iter(|| {
-            std::hint::black_box(fig6::run_one(&opts, Workload::Gmake, PolicyKind::Adaptive))
-        })
+        b.iter(|| std::hint::black_box(fig6::run_one(&opts, Workload::Gmake, PolicyKind::Adaptive)))
     });
 }
 
@@ -40,7 +38,11 @@ fn bench_fig7(c: &mut Criterion) {
     let opts = print_experiment("fig7");
     c.bench_function("fig7_dedup_breakdown", |b| {
         b.iter(|| {
-            std::hint::black_box(fig7::measure_one(&opts, Workload::Dedup, PolicyKind::Fixed(3)))
+            std::hint::black_box(fig7::measure_one(
+                &opts,
+                Workload::Dedup,
+                PolicyKind::Fixed(3),
+            ))
         })
     });
 }

@@ -17,7 +17,10 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut q = EventQueue::new();
             for i in 0..1_000u64 {
                 // Pseudo-shuffled timestamps exercise heap reordering.
-                q.push(SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 100_000), i);
+                q.push(
+                    SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 100_000),
+                    i,
+                );
             }
             let mut sum = 0u64;
             while let Some((_, v)) = q.pop() {
@@ -25,6 +28,65 @@ fn bench_event_queue(c: &mut Criterion) {
             }
             std::hint::black_box(sum)
         })
+    });
+}
+
+/// Cancellation-heavy queue traffic: the scheduler's actual pattern is
+/// push-then-cancel (timers superseded by earlier wakeups). Half the
+/// pushed events are cancelled before the drain.
+fn bench_event_queue_cancel(c: &mut Criterion) {
+    c.bench_function("event_queue_push_cancel_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut keys = Vec::with_capacity(1_000);
+            for i in 0..1_000u64 {
+                let at = SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 100_000);
+                keys.push(q.push(at, i));
+            }
+            for (i, k) in keys.into_iter().enumerate() {
+                if i % 2 == 0 {
+                    q.cancel(k);
+                }
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+/// Serial vs parallel experiment fan-out over a grid of short windows —
+/// the speedup `--jobs N` buys on a multi-core host.
+fn bench_parallel_fanout(c: &mut Criterion) {
+    use experiments::runner::{parallel, run_window, PolicyKind, RunOptions};
+
+    let run_grid = |jobs: usize| {
+        let opts = RunOptions::quick().with_jobs(jobs);
+        let window = SimDuration::from_millis(100);
+        let totals = parallel::run_indexed(opts.jobs, 8, |i| {
+            let w = [Workload::Exim, Workload::Gmake][i % 2];
+            let policy = [PolicyKind::Baseline, PolicyKind::Fixed(1)][(i / 2) % 2];
+            let (cfg, _) = scenarios::corun(w);
+            let n = cfg.num_pcpus;
+            let specs = vec![
+                scenarios::vm_with_iters(w, n, None),
+                scenarios::vm_with_iters(Workload::Swaptions, n, None),
+            ];
+            let m = run_window(&opts, (cfg, specs), policy, window);
+            m.stats.counters.total()
+        });
+        totals.iter().sum::<u64>()
+    };
+    c.bench_function("repro_grid_serial_jobs1", |b| {
+        b.iter(|| std::hint::black_box(run_grid(1)))
+    });
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    c.bench_function("repro_grid_parallel_jobsN", |b| {
+        b.iter(|| std::hint::black_box(run_grid(jobs)))
     });
 }
 
@@ -113,6 +175,6 @@ fn bench_sim_second(c: &mut Criterion) {
 criterion_group! {
     name = hotpaths;
     config = sim_criterion();
-    targets = bench_event_queue, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second
+    targets = bench_event_queue, bench_event_queue_cancel, bench_parallel_fanout, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second
 }
 criterion_main!(hotpaths);

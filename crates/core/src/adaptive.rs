@@ -146,7 +146,9 @@ impl AdaptiveController {
             };
             self.num_micro_cores = 0;
             self.profile_mode = true;
-            self.ur_events.iter_mut().for_each(|e| *e = UrgentEvents::default());
+            self.ur_events
+                .iter_mut()
+                .for_each(|e| *e = UrgentEvents::default());
             return Decision {
                 micro_cores: 0,
                 next_interval: self.cfg.profile_interval,
@@ -257,7 +259,11 @@ mod tests {
         // ...but once contention has been seen, calm decisions hold for a
         // full epoch.
         c.on_timer(UrgentEvents::default());
-        c.on_timer(UrgentEvents { ipis: 0, ples: 100, irqs: 0 }); // Contended: 1 core.
+        c.on_timer(UrgentEvents {
+            ipis: 0,
+            ples: 100,
+            irqs: 0,
+        }); // Contended: 1 core.
         c.on_timer(UrgentEvents::default()); // Epoch over: re-profile.
         let calm = c.on_timer(UrgentEvents::default());
         assert_eq!(calm.micro_cores, 0);
@@ -295,7 +301,7 @@ mod tests {
     fn ipi_dominant_searches_and_picks_minimum() {
         let mut c = AdaptiveController::new(cfg());
         c.on_timer(UrgentEvents::default()); // Profiling, 0 cores.
-        // 0 cores: IPI dominant → go to 1 core, continue profiling.
+                                             // 0 cores: IPI dominant → go to 1 core, continue profiling.
         let d = c.on_timer(UrgentEvents {
             ipis: 900,
             ples: 3,
@@ -339,7 +345,7 @@ mod tests {
             ples: 100,
             irqs: 0,
         }); // Decision: 1 core, run phase.
-        // Next timer (end of epoch): back to profiling at zero cores.
+            // Next timer (end of epoch): back to profiling at zero cores.
         let d = c.on_timer(UrgentEvents {
             ipis: 0,
             ples: 100,
@@ -354,10 +360,26 @@ mod tests {
     fn tie_breaks_to_fewer_cores() {
         let mut c = AdaptiveController::new(cfg());
         c.on_timer(UrgentEvents::default());
-        c.on_timer(UrgentEvents { ipis: 100, ples: 0, irqs: 0 }); // → 1
-        c.on_timer(UrgentEvents { ipis: 10, ples: 0, irqs: 0 }); // → 2
-        c.on_timer(UrgentEvents { ipis: 10, ples: 0, irqs: 0 }); // → 3
-        let d = c.on_timer(UrgentEvents { ipis: 10, ples: 0, irqs: 0 });
+        c.on_timer(UrgentEvents {
+            ipis: 100,
+            ples: 0,
+            irqs: 0,
+        }); // → 1
+        c.on_timer(UrgentEvents {
+            ipis: 10,
+            ples: 0,
+            irqs: 0,
+        }); // → 2
+        c.on_timer(UrgentEvents {
+            ipis: 10,
+            ples: 0,
+            irqs: 0,
+        }); // → 3
+        let d = c.on_timer(UrgentEvents {
+            ipis: 10,
+            ples: 0,
+            irqs: 0,
+        });
         assert_eq!(d.micro_cores, 1, "tie between 1/2/3 goes to 1");
     }
 
@@ -365,7 +387,17 @@ mod tests {
     fn ipi_dominance_definition_matches_paper() {
         // "numIPIs > numPLEs OR numIPIs > numIRQs" — an OR, per the
         // pseudocode.
-        assert!(UrgentEvents { ipis: 5, ples: 3, irqs: 9 }.ipi_dominant());
-        assert!(!UrgentEvents { ipis: 2, ples: 3, irqs: 9 }.ipi_dominant());
+        assert!(UrgentEvents {
+            ipis: 5,
+            ples: 3,
+            irqs: 9
+        }
+        .ipi_dominant());
+        assert!(!UrgentEvents {
+            ipis: 2,
+            ples: 3,
+            irqs: 9
+        }
+        .ipi_dominant());
     }
 }

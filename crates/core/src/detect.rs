@@ -14,11 +14,23 @@
 use hypervisor::Machine;
 use ksym::whitelist::{CriticalClass, Whitelist};
 use simcore::ids::{VcpuId, VmId};
+use std::cell::RefCell;
+
+/// Per-vCPU `(last ip, class)` cache, indexed `[vm][vcpu]`.
+type ClassMemo = RefCell<Vec<Vec<Option<(u64, CriticalClass)>>>>;
 
 /// Classifies vCPU instruction pointers and finds acceleration targets.
 #[derive(Clone, Debug)]
 pub struct DetectionEngine {
     whitelist: Whitelist,
+    /// Per-vCPU `(last ip, class)` memo, indexed `[vm][vcpu]` and grown on
+    /// demand. Detection scans re-classify every sibling on every policy
+    /// tick, but a vCPU's instruction pointer only changes when it runs —
+    /// preempted vCPUs (the common scan target) keep the same IP across
+    /// many scans, so remembering the last resolution skips the symbol-table
+    /// binary search entirely. Per-engine, so engines with different
+    /// whitelists (ablations) cannot poison each other's results.
+    memo: ClassMemo,
 }
 
 impl Default for DetectionEngine {
@@ -30,21 +42,46 @@ impl Default for DetectionEngine {
 impl DetectionEngine {
     /// Creates an engine with the Linux 4.4 whitelist (Table 3).
     pub fn new() -> Self {
-        DetectionEngine {
-            whitelist: Whitelist::linux44(),
-        }
+        Self::with_whitelist(Whitelist::linux44())
     }
 
     /// Creates an engine with a custom whitelist (ablations).
     pub fn with_whitelist(whitelist: Whitelist) -> Self {
-        DetectionEngine { whitelist }
+        DetectionEngine {
+            whitelist,
+            memo: RefCell::new(Vec::new()),
+        }
     }
 
     /// Classifies what a vCPU is executing, from its instruction pointer
-    /// alone.
+    /// alone. Memoized on the vCPU's last instruction pointer: repeated
+    /// scans of an unmoved (e.g. preempted) vCPU resolve without touching
+    /// the symbol table.
+    ///
+    /// The memo assumes one engine serves one machine (same kernel map
+    /// throughout), which is how every caller uses it; reusing an engine
+    /// across machines with *different* symbol tables requires a fresh
+    /// engine per machine.
     pub fn classify(&self, machine: &Machine, vcpu: VcpuId) -> CriticalClass {
         let ip = machine.vcpu_ip(vcpu);
-        self.whitelist.classify(machine.kernel_map().table(), ip)
+        let mut memo = self.memo.borrow_mut();
+        let vm = vcpu.vm.0 as usize;
+        if memo.len() <= vm {
+            memo.resize_with(vm + 1, Vec::new);
+        }
+        let per_vm = &mut memo[vm];
+        let idx = vcpu.idx as usize;
+        if per_vm.len() <= idx {
+            per_vm.resize(idx + 1, None);
+        }
+        if let Some((cached_ip, class)) = per_vm[idx] {
+            if cached_ip == ip {
+                return class;
+            }
+        }
+        let class = self.whitelist.classify(machine.kernel_map().table(), ip);
+        per_vm[idx] = Some((ip, class));
+        class
     }
 
     /// Preempted sibling vCPUs that owe TLB-shootdown acknowledgements —
@@ -163,6 +200,25 @@ mod tests {
             }
         }
         assert!(found, "no preempted lock holder in 2 s of contention");
+    }
+
+    #[test]
+    fn memoized_classification_matches_fresh_engine() {
+        let mut m = contended_machine();
+        let warm = DetectionEngine::new();
+        // Observe at several points; the warm engine's memo must never
+        // diverge from a throwaway engine classifying from scratch.
+        for step in 1..=20u64 {
+            m.run_until(SimTime::from_millis(step * 5));
+            for vm in [VmId(0), VmId(1)] {
+                for v in m.siblings(vm) {
+                    let fresh = DetectionEngine::new();
+                    assert_eq!(warm.classify(&m, v), fresh.classify(&m, v));
+                    // Second lookup hits the memo and must agree too.
+                    assert_eq!(warm.classify(&m, v), fresh.classify(&m, v));
+                }
+            }
+        }
     }
 
     #[test]

@@ -267,11 +267,7 @@ mod tests {
         // lock waits by an order of magnitude.
         let run = |policy: Box<dyn SchedPolicy>| {
             let specs = vec![locker_spec(12), VmSpec::new("hog", 12).task_per_vcpu(hog)];
-            let mut m = Machine::new(
-                MachineConfig::small(12).with_seed(3),
-                specs,
-                policy,
-            );
+            let mut m = Machine::new(MachineConfig::small(12).with_seed(3), specs, policy);
             m.run_until(SimTime::from_secs(2));
             let waits = m
                 .vm(VmId(0))

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of criterion's API its benches use: `Criterion`
+//! with the `sample_size` / `measurement_time` / `warm_up_time` builders,
+//! `bench_function` + `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a plain wall-clock harness:
+//! warm up, auto-batch iterations so one sample is long enough to time,
+//! then report mean/min ns per iteration.
+//!
+//! Environment knobs (all optional):
+//! - `BENCH_JSON=path` — append one JSON line per benchmark
+//!   (`{"name", "mean_ns", "min_ns", "samples", "label"}`).
+//! - `BENCH_LABEL=str` — the `label` field written to `BENCH_JSON`.
+//! - `BENCH_MEASURE_SECS=f` — override every measurement window.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// The benchmark harness: per-group timing configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark. Positional command-line arguments act as
+    /// substring filters, like criterion: `cargo bench -- event_queue`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let filters: Vec<String> = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        if !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str())) {
+            return self;
+        }
+        let measurement_time = std::env::var("BENCH_MEASURE_SECS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(Duration::from_secs_f64)
+            .unwrap_or(self.measurement_time);
+
+        let mut b = Bencher {
+            mode: Mode::Calibrate,
+            batch: 1,
+            samples: Vec::new(),
+            deadline: Instant::now() + self.warm_up_time,
+        };
+        // Warm-up / calibration: run batches until the warm-up budget is
+        // spent, growing the batch until one batch takes >= 1 ms.
+        loop {
+            f(&mut b);
+            if Instant::now() >= b.deadline {
+                break;
+            }
+        }
+        // Measurement.
+        b.mode = Mode::Measure;
+        b.deadline = Instant::now() + measurement_time;
+        let target = self.sample_size;
+        while b.samples.len() < target && Instant::now() < b.deadline {
+            f(&mut b);
+        }
+        if b.samples.is_empty() {
+            f(&mut b); // Budget exhausted during a slow first sample: force one.
+        }
+        let mean_ns = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+        let min_ns = b.samples.iter().fold(f64::INFINITY, |a, &x| a.min(x));
+        println!(
+            "{name:<40} time: [mean {} / min {}]  ({} samples)",
+            fmt_ns(mean_ns),
+            fmt_ns(min_ns),
+            b.samples.len()
+        );
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "current".into());
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\":\"{name}\",\"mean_ns\":{mean_ns:.1},\"min_ns\":{min_ns:.1},\
+                     \"samples\":{},\"label\":\"{label}\"}}",
+                    b.samples.len()
+                );
+            }
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+pub struct Bencher {
+    mode: Mode,
+    batch: u64,
+    samples: Vec<f64>,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Times one batch of calls to `routine` and records a sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        match self.mode {
+            Mode::Calibrate => {
+                // Grow the batch until a sample is comfortably timeable.
+                if elapsed < Duration::from_millis(1) && self.batch < 1 << 20 {
+                    self.batch *= 2;
+                }
+            }
+            Mode::Measure => {
+                self.samples
+                    .push(elapsed.as_nanos() as f64 / self.batch as f64);
+            }
+        }
+    }
+}
+
+/// Opaque value barrier (re-exported for criterion compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = concat!("Benchmark group `", stringify!($name), "`.")]
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Benchmark group `", stringify!($name), "`.")]
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        std::env::remove_var("BENCH_JSON");
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)))
+        });
+        assert!(ran);
+    }
+}

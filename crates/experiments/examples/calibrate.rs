@@ -12,7 +12,12 @@ use workloads::Workload;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = RunOptions::quick();
-    let exec_pairs = [Workload::Gmake, Workload::Memclone, Workload::Dedup, Workload::Vips];
+    let exec_pairs = [
+        Workload::Gmake,
+        Workload::Memclone,
+        Workload::Dedup,
+        Workload::Vips,
+    ];
     let tput_pairs = [Workload::Exim, Workload::Psearchy];
     let configs = [
         PolicyKind::Baseline,
@@ -23,26 +28,46 @@ fn main() {
         PolicyKind::Adaptive,
     ];
     for w in exec_pairs {
-        if !args.is_empty() && !args.contains(&w.name().to_string()) { continue; }
+        if !args.is_empty() && !args.contains(&w.name().to_string()) {
+            continue;
+        }
         print!("{:10}", w.name());
         let mut base = 1.0;
         let mut cobase = 1.0;
         for p in configs {
             let c = fig4::run_one(&opts, w, p);
-            if p == PolicyKind::Baseline { base = c.target_secs; cobase = c.corunner_rate; }
-            print!("  {}:{:.2}/{:.2}", p.label(), c.target_secs / base, cobase / c.corunner_rate);
+            if p == PolicyKind::Baseline {
+                base = c.target_secs;
+                cobase = c.corunner_rate;
+            }
+            print!(
+                "  {}:{:.2}/{:.2}",
+                p.label(),
+                c.target_secs / base,
+                cobase / c.corunner_rate
+            );
         }
         println!();
     }
     for w in tput_pairs {
-        if !args.is_empty() && !args.contains(&w.name().to_string()) { continue; }
+        if !args.is_empty() && !args.contains(&w.name().to_string()) {
+            continue;
+        }
         print!("{:10}", w.name());
         let mut base = 1.0;
         let mut cobase = 1.0;
         for p in configs {
             let c = fig5::run_one(&opts, w, p);
-            if p == PolicyKind::Baseline { base = c.throughput; cobase = c.corunner_rate; }
-            print!("  {}:{:.2}x/{:.2}", p.label(), c.throughput / base, cobase / c.corunner_rate);
+            if p == PolicyKind::Baseline {
+                base = c.throughput;
+                cobase = c.corunner_rate;
+            }
+            print!(
+                "  {}:{:.2}x/{:.2}",
+                p.label(),
+                c.throughput / base,
+                cobase / c.corunner_rate
+            );
         }
         println!();
     }

@@ -11,7 +11,7 @@
 //!   0.1 ms slice (no precise selection), which the paper's Table 1
 //!   criticizes for hurting cache-sensitive user work.
 
-use crate::runner::{build, PolicyKind, RunOptions};
+use crate::runner::{build, parallel, PolicyKind, RunOptions};
 use hypervisor::{MachineConfig, VmSpec};
 use metrics::render::Table;
 use microslice::{DetectionEngine, MicroslicePolicy};
@@ -21,7 +21,11 @@ use simcore::time::SimTime;
 use workloads::{scenarios, Workload};
 
 /// Throughput of the exim pair over a window under a custom config.
-fn exim_rate(opts: &RunOptions, mutate: impl FnOnce(&mut MachineConfig), policy: PolicyKind) -> f64 {
+fn exim_rate(
+    opts: &RunOptions,
+    mutate: impl FnOnce(&mut MachineConfig),
+    policy: PolicyKind,
+) -> f64 {
     let mut cfg = MachineConfig::paper_testbed();
     mutate(&mut cfg);
     let n = cfg.num_pcpus;
@@ -38,16 +42,13 @@ fn exim_rate(opts: &RunOptions, mutate: impl FnOnce(&mut MachineConfig), policy:
 /// Micro-slice length sweep (50 µs – 1 ms) on the exim pair.
 pub fn run_slice_sweep(opts: &RunOptions) -> Vec<Table> {
     const SLICES_US: [u64; 5] = [50, 100, 200, 500, 1_000];
-    let rates: Vec<f64> = SLICES_US
-        .iter()
-        .map(|&us| {
-            exim_rate(
-                opts,
-                |cfg| cfg.micro_slice = SimDuration::from_micros(us),
-                PolicyKind::Fixed(1),
-            )
-        })
-        .collect();
+    let rates: Vec<f64> = parallel::map(opts.jobs, &SLICES_US, |&us| {
+        exim_rate(
+            opts,
+            |cfg| cfg.micro_slice = SimDuration::from_micros(us),
+            PolicyKind::Fixed(1),
+        )
+    });
     let hundred = rates[1];
     let mut t = Table::new(vec!["micro slice", "exim units/s", "vs 100us"])
         .with_title("Ablation: micro-slice length (exim + swaptions, 1 micro core)");
@@ -65,7 +66,8 @@ pub fn run_slice_sweep(opts: &RunOptions) -> Vec<Table> {
 pub fn run_runq_cap(opts: &RunOptions) -> Vec<Table> {
     let mut t = Table::new(vec!["micro runq cap", "dedup exec (s)"])
         .with_title("Ablation: micro-pool run-queue cap (dedup + swaptions, 3 micro cores)");
-    for cap in [1usize, 2, 4, 16] {
+    const CAPS: [usize; 4] = [1, 2, 4, 16];
+    let times = parallel::map(opts.jobs, &CAPS, |&cap| {
         let mut cfg = MachineConfig::paper_testbed();
         cfg.micro_runq_cap = cap;
         let n = cfg.num_pcpus;
@@ -75,10 +77,12 @@ pub fn run_runq_cap(opts: &RunOptions) -> Vec<Table> {
             scenarios::vm_with_iters(Workload::Swaptions, n, None),
         ];
         let mut m = build(opts, (cfg, specs), PolicyKind::Fixed(3));
-        let end = m
-            .run_until_vm_finished(VmId(0), opts.horizon())
-            .expect("dedup finishes");
-        t.row(vec![cap.to_string(), format!("{:.2}", end.as_secs_f64())]);
+        m.run_until_vm_finished(VmId(0), opts.horizon())
+            .expect("dedup finishes")
+            .as_secs_f64()
+    });
+    for (cap, secs) in CAPS.iter().zip(&times) {
+        t.row(vec![cap.to_string(), format!("{secs:.2}")]);
     }
     vec![t]
 }
@@ -88,28 +92,37 @@ pub fn run_detection_off(opts: &RunOptions) -> Vec<Table> {
     let mut t = Table::new(vec!["config", "exim units/s"])
         .with_title("Ablation: detection (whitelist) on/off, 1 reserved micro core");
     let window = opts.window(SimDuration::from_secs(3));
-    let run = |policy: Box<dyn hypervisor::policy::SchedPolicy>| {
-        let cfg = MachineConfig::paper_testbed();
+    // Policies are constructed inside the worker (dispatched by index) so
+    // no trait object needs to cross threads.
+    let rates = parallel::run_indexed(opts.jobs, 3, |i| {
+        let policy: Box<dyn hypervisor::policy::SchedPolicy> = match i {
+            0 => Box::new(hypervisor::BaselinePolicy),
+            1 => Box::new(MicroslicePolicy::fixed(1)),
+            _ => Box::new(
+                MicroslicePolicy::fixed(1)
+                    .with_detection(DetectionEngine::with_whitelist(ksym::Whitelist::empty())),
+            ),
+        };
+        let mut cfg = MachineConfig::paper_testbed();
         let n = cfg.num_pcpus;
         let specs = vec![
             scenarios::vm_with_iters(Workload::Exim, n, None),
             scenarios::vm_with_iters(Workload::Swaptions, n, None),
         ];
-        let mut cfg = cfg;
         cfg.seed = opts.seed;
         let mut m = hypervisor::Machine::new(cfg, specs, policy);
         m.run_until(SimTime::ZERO + window);
         m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64()
-    };
-    let baseline = run(Box::new(hypervisor::BaselinePolicy));
-    let on = run(Box::new(MicroslicePolicy::fixed(1)));
-    let off = run(Box::new(
-        MicroslicePolicy::fixed(1)
-            .with_detection(DetectionEngine::with_whitelist(ksym::Whitelist::empty())),
-    ));
-    t.row(vec!["baseline (no pool)".into(), format!("{baseline:.0}")]);
-    t.row(vec!["pool + detection".into(), format!("{on:.0}")]);
-    t.row(vec!["pool, detection off".into(), format!("{off:.0}")]);
+    });
+    t.row(vec![
+        "baseline (no pool)".into(),
+        format!("{:.0}", rates[0]),
+    ]);
+    t.row(vec!["pool + detection".into(), format!("{:.0}", rates[1])]);
+    t.row(vec![
+        "pool, detection off".into(),
+        format!("{:.0}", rates[2]),
+    ]);
     vec![t]
 }
 
@@ -119,9 +132,16 @@ pub fn run_fixed_usliced(opts: &RunOptions) -> Vec<Table> {
     let mut t = Table::new(vec!["scheme", "exim units/s", "swaptions units/s"])
         .with_title("Ablation: precise selection vs micro-slicing every core");
     let window = opts.window(SimDuration::from_secs(3));
-    let run = |mutate: &dyn Fn(&mut MachineConfig), policy: PolicyKind| {
+    let cells = parallel::run_indexed(opts.jobs, 3, |i| {
         let mut cfg = MachineConfig::paper_testbed();
-        mutate(&mut cfg);
+        let policy = match i {
+            0 => PolicyKind::Baseline,
+            1 => PolicyKind::Fixed(1),
+            _ => {
+                cfg.normal_slice = SimDuration::from_micros(100);
+                PolicyKind::Baseline
+            }
+        };
         let n = cfg.num_pcpus;
         let specs = vec![
             scenarios::vm_with_iters(Workload::Exim, n, None),
@@ -134,16 +154,23 @@ pub fn run_fixed_usliced(opts: &RunOptions) -> Vec<Table> {
             m.vm_work_done(VmId(0)) as f64 / secs,
             m.vm_work_done(VmId(1)) as f64 / secs,
         )
-    };
-    let (be, bs) = run(&|_| {}, PolicyKind::Baseline);
-    let (me, ms) = run(&|_| {}, PolicyKind::Fixed(1));
-    let (fe, fs) = run(
-        &|cfg| cfg.normal_slice = SimDuration::from_micros(100),
-        PolicyKind::Baseline,
-    );
-    t.row(vec!["baseline (30ms)".into(), format!("{be:.0}"), format!("{bs:.0}")]);
-    t.row(vec!["flexible micro-sliced (ours)".into(), format!("{me:.0}"), format!("{ms:.0}")]);
-    t.row(vec!["fixed micro-sliced (all cores 0.1ms)".into(), format!("{fe:.0}"), format!("{fs:.0}")]);
+    });
+    let [(be, bs), (me, ms), (fe, fs)] = [cells[0], cells[1], cells[2]];
+    t.row(vec![
+        "baseline (30ms)".into(),
+        format!("{be:.0}"),
+        format!("{bs:.0}"),
+    ]);
+    t.row(vec![
+        "flexible micro-sliced (ours)".into(),
+        format!("{me:.0}"),
+        format!("{ms:.0}"),
+    ]);
+    t.row(vec![
+        "fixed micro-sliced (all cores 0.1ms)".into(),
+        format!("{fe:.0}"),
+        format!("{fs:.0}"),
+    ]);
     vec![t]
 }
 

@@ -1,22 +1,32 @@
 //! `repro` — regenerate the paper's tables and figures from the simulator.
 //!
 //! ```text
-//! repro [--quick] [--csv] [--seed N] <experiment>...
+//! repro [--quick] [--csv] [--seed N] [--jobs N] <experiment>...
 //! repro all
 //! repro list
 //! ```
+//!
+//! `--jobs N` fans independent runs across N worker threads (default:
+//! available parallelism). Output is byte-identical for every N;
+//! `--jobs 1` also reproduces the serial execution order exactly.
 
 use experiments::{run_experiment, RunOptions, ALL_EXPERIMENTS};
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--quick] [--csv] [--seed N] <experiment>... | all | list");
+    eprintln!("usage: repro [--quick] [--csv] [--seed N] [--jobs N] <experiment>... | all | list");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
 }
 
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 fn main() {
-    let mut opts = RunOptions::default();
+    let mut opts = RunOptions::default().with_jobs(default_jobs());
     let mut csv = false;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
@@ -27,6 +37,11 @@ fn main() {
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let jobs: usize = v.parse().unwrap_or_else(|_| usage());
+                opts = opts.with_jobs(jobs);
             }
             "list" => {
                 for id in ALL_EXPERIMENTS {

@@ -180,10 +180,9 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     let results = measure(opts);
     let passed = results.iter().filter(|r| r.pass).count();
     let total = results.len();
-    let mut t = Table::new(vec!["artifact", "shape", "paper", "measured", "verdict"])
-        .with_title(format!(
-            "Paper-vs-measured shape verification: {passed}/{total} PASS"
-        ));
+    let mut t = Table::new(vec!["artifact", "shape", "paper", "measured", "verdict"]).with_title(
+        format!("Paper-vs-measured shape verification: {passed}/{total} PASS"),
+    );
     for r in results {
         t.row(vec![
             r.artifact.to_string(),
@@ -201,7 +200,10 @@ mod tests {
     use super::*;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under debug; run with cargo test --release"
+    )]
     fn shape_verification_passes_on_quick_budget() {
         let results = measure(&RunOptions::quick());
         let failed: Vec<&str> = results
@@ -212,9 +214,6 @@ mod tests {
         // Nine of ten shapes must hold even at the quick budget; Figure 6
         // (dynamic-vs-static) is allowed to flake there because Algorithm
         // 1's epochs barely fit in short runs.
-        assert!(
-            failed.len() <= 1,
-            "shape checks failed: {failed:?}"
-        );
+        assert!(failed.len() <= 1, "shape checks failed: {failed:?}");
     }
 }

@@ -7,7 +7,7 @@
 //! (dedup, vips) *lose* with one core and win with 2–3; beyond that the
 //! shrinking normal pool erodes the gains.
 
-use crate::runner::{PolicyKind, RunOptions};
+use crate::runner::{parallel, PolicyKind, RunOptions};
 use hypervisor::{Machine, MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -70,21 +70,31 @@ pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> Cell {
     }
 }
 
-/// Runs the sweep for one workload.
+/// Runs the sweep for one workload, fanning the configurations across
+/// `opts.jobs` workers (results stay in configuration order).
 pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<Cell> {
-    configs()
-        .into_iter()
-        .map(|policy| run_one(opts, w, policy))
-        .collect()
+    let configs = configs();
+    parallel::map(opts.jobs, &configs, |&policy| run_one(opts, w, policy))
 }
 
 /// Renders Figure 4 (one table per workload pair, times normalized to the
-/// baseline like the paper's y-axis).
+/// baseline like the paper's y-axis). The full workload × configuration
+/// grid is flattened into one index space so the fan-out load-balances
+/// across both axes.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let configs = configs();
+    let grid = parallel::run_indexed(opts.jobs, WORKLOADS.len() * configs.len(), |i| {
+        run_one(
+            opts,
+            WORKLOADS[i / configs.len()],
+            configs[i % configs.len()],
+        )
+    });
     WORKLOADS
         .iter()
-        .map(|&w| {
-            let cells = sweep(opts, w);
+        .enumerate()
+        .map(|(wi, &w)| {
+            let cells = &grid[wi * configs.len()..(wi + 1) * configs.len()];
             let base = cells[0];
             let mut t = Table::new(vec![
                 "config",
@@ -97,7 +107,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                 "Figure 4 [{} + swaptions]: normalized execution time vs #micro cores",
                 w.name()
             ));
-            for c in &cells {
+            for c in cells {
                 t.row(vec![
                     c.policy.label(),
                     format!("{:.3}", c.target_secs / base.target_secs),
@@ -121,7 +131,10 @@ mod tests {
     /// only at the full budget — its quick run has too few lock-holder
     /// preemptions for a stable assertion.)
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under debug; run with cargo test --release"
+    )]
     fn memclone_wins_with_one_micro_core() {
         let opts = RunOptions::quick();
         let base = run_one(&opts, Workload::Memclone, PolicyKind::Baseline);

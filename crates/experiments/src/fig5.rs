@@ -2,7 +2,7 @@
 //! exim and psearchy (throughput benchmarks), with the swaptions
 //! co-runner's execution time on the second axis.
 
-use crate::runner::{PolicyKind, RunOptions};
+use crate::runner::{parallel, PolicyKind, RunOptions};
 use hypervisor::{Machine, MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -41,8 +41,7 @@ pub fn scenario(_opts: &RunOptions, w: Workload) -> (MachineConfig, Vec<VmSpec>)
 /// Runs one configuration over the measurement window.
 pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> Cell {
     let window = opts.window(SimDuration::from_secs(4));
-    let m: Machine =
-        crate::runner::run_window(opts, scenario(opts, w), policy, window);
+    let m: Machine = crate::runner::run_window(opts, scenario(opts, w), policy, window);
     let secs = window.as_secs_f64();
     Cell {
         policy,
@@ -51,20 +50,29 @@ pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> Cell {
     }
 }
 
-/// Runs the full sweep for one workload.
+/// Runs the full sweep for one workload, fanned across `opts.jobs`
+/// workers in configuration order.
 pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<Cell> {
-    crate::fig4::configs()
-        .into_iter()
-        .map(|policy| run_one(opts, w, policy))
-        .collect()
+    let configs = crate::fig4::configs();
+    parallel::map(opts.jobs, &configs, |&policy| run_one(opts, w, policy))
 }
 
-/// Renders Figure 5.
+/// Renders Figure 5, flattening the workload × configuration grid into
+/// one fan-out index space.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let configs = crate::fig4::configs();
+    let grid = parallel::run_indexed(opts.jobs, WORKLOADS.len() * configs.len(), |i| {
+        run_one(
+            opts,
+            WORKLOADS[i / configs.len()],
+            configs[i % configs.len()],
+        )
+    });
     WORKLOADS
         .iter()
-        .map(|&w| {
-            let cells = sweep(opts, w);
+        .enumerate()
+        .map(|(wi, &w)| {
+            let cells = &grid[wi * configs.len()..(wi + 1) * configs.len()];
             let base = cells[0];
             let mut t = Table::new(vec![
                 "config",
@@ -76,7 +84,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                 "Figure 5 [{} + swaptions]: throughput vs #micro cores",
                 w.name()
             ));
-            for c in &cells {
+            for c in cells {
                 t.row(vec![
                     c.policy.label(),
                     format!("{:.2}x", c.throughput / base.throughput),

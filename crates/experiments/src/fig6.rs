@@ -4,7 +4,7 @@
 //! best static core count, and Algorithm 1. The reproduction target:
 //! dynamic tracks static-best closely and both beat the baseline.
 
-use crate::runner::{PolicyKind, RunOptions};
+use crate::runner::{parallel, PolicyKind, RunOptions};
 use metrics::render::Table;
 use workloads::Workload;
 
@@ -60,18 +60,22 @@ pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> Cell {
     }
 }
 
-/// Runs baseline / static-best / dynamic for every pair.
+/// Runs baseline / static-best / dynamic for every pair, fanning the
+/// 6 × 3 grid across `opts.jobs` workers.
 pub fn measure(opts: &RunOptions) -> Vec<(Workload, [Cell; 3])> {
+    let grid = parallel::run_indexed(opts.jobs, WORKLOADS.len() * 3, |i| {
+        let w = WORKLOADS[i / 3];
+        let policy = match i % 3 {
+            0 => PolicyKind::Baseline,
+            1 => PolicyKind::Fixed(static_best(w)),
+            _ => PolicyKind::Adaptive,
+        };
+        run_one(opts, w, policy)
+    });
     WORKLOADS
         .iter()
-        .map(|&w| {
-            let cells = [
-                run_one(opts, w, PolicyKind::Baseline),
-                run_one(opts, w, PolicyKind::Fixed(static_best(w))),
-                run_one(opts, w, PolicyKind::Adaptive),
-            ];
-            (w, cells)
-        })
+        .enumerate()
+        .map(|(wi, &w)| (w, [grid[wi * 3], grid[wi * 3 + 1], grid[wi * 3 + 2]]))
         .collect()
 }
 
@@ -122,7 +126,10 @@ mod tests {
     /// Dynamic must land in the same direction as static-best for the
     /// IPI-bound pair (quick budget; full fidelity in the bench run).
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under debug; run with cargo test --release"
+    )]
     fn dynamic_tracks_static_best_for_dedup() {
         let opts = RunOptions::quick();
         let base = run_one(&opts, Workload::Dedup, PolicyKind::Baseline);

@@ -6,7 +6,7 @@
 //! the TLB-bound ones), and the halt share shrinks as the VMs regain
 //! utilization.
 
-use crate::runner::{PolicyKind, RunOptions};
+use crate::runner::{parallel, PolicyKind, RunOptions};
 use hypervisor::stats::YieldBreakdown;
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -30,21 +30,22 @@ pub fn measure_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> YieldB
     m.stats.vm(VmId(0)).yields
 }
 
-/// Runs B/S/D for every pair.
+/// Runs B/S/D for every pair, fanning the 6 × 3 grid across
+/// `opts.jobs` workers.
 pub fn measure(opts: &RunOptions) -> Vec<(Workload, [YieldBreakdown; 3])> {
+    let grid = parallel::run_indexed(opts.jobs, WORKLOADS.len() * 3, |i| {
+        let w = WORKLOADS[i / 3];
+        let policy = match i % 3 {
+            0 => PolicyKind::Baseline,
+            1 => PolicyKind::Fixed(crate::fig6::static_best(w)),
+            _ => PolicyKind::Adaptive,
+        };
+        measure_one(opts, w, policy)
+    });
     WORKLOADS
         .iter()
-        .map(|&w| {
-            let best = crate::fig6::static_best(w);
-            (
-                w,
-                [
-                    measure_one(opts, w, PolicyKind::Baseline),
-                    measure_one(opts, w, PolicyKind::Fixed(best)),
-                    measure_one(opts, w, PolicyKind::Adaptive),
-                ],
-            )
-        })
+        .enumerate()
+        .map(|(wi, &w)| (w, [grid[wi * 3], grid[wi * 3 + 1], grid[wi * 3 + 2]]))
         .collect()
 }
 

@@ -4,7 +4,7 @@
 //! baseline and the dynamic policy. The reproduction target: the dynamic
 //! scheme's profiling changes their execution time by only a few percent.
 
-use crate::runner::{PolicyKind, RunOptions};
+use crate::runner::{parallel, PolicyKind, RunOptions};
 use hypervisor::{MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -41,14 +41,25 @@ fn exec_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> f64 {
         .as_secs_f64()
 }
 
-/// Runs the measurement.
+/// Runs the measurement, fanning the workload × policy grid across
+/// `opts.jobs` workers.
 pub fn measure(opts: &RunOptions) -> Vec<Row> {
-    Workload::figure8_set()
-        .iter()
-        .map(|&w| Row {
+    let set = Workload::figure8_set();
+    let grid = parallel::run_indexed(opts.jobs, set.len() * 2, |i| {
+        let w = set[i / 2];
+        let policy = if i % 2 == 0 {
+            PolicyKind::Baseline
+        } else {
+            PolicyKind::Adaptive
+        };
+        exec_one(opts, w, policy)
+    });
+    set.iter()
+        .enumerate()
+        .map(|(wi, &w)| Row {
             workload: w,
-            baseline_secs: exec_one(opts, w, PolicyKind::Baseline),
-            dynamic_secs: exec_one(opts, w, PolicyKind::Adaptive),
+            baseline_secs: grid[wi * 2],
+            dynamic_secs: grid[wi * 2 + 1],
         })
         .collect()
 }

@@ -6,7 +6,7 @@
 //! and its bandwidth roughly halves; the micro-sliced scheme restores
 //! bandwidth and drives jitter toward zero.
 
-use crate::runner::{run_window, PolicyKind, RunOptions};
+use crate::runner::{parallel, run_window, PolicyKind, RunOptions};
 use metrics::render::{fmt_f64, Table};
 use simcore::ids::VmId;
 use simcore::time::SimDuration;
@@ -41,15 +41,13 @@ pub fn measure_one(opts: &RunOptions, tcp: bool, policy: PolicyKind) -> Row {
     }
 }
 
-/// Runs the full Figure 9 grid (TCP/UDP × baseline/micro-sliced).
+/// Runs the full Figure 9 grid (TCP/UDP × baseline/micro-sliced), fanned
+/// across `opts.jobs` workers in grid order.
 pub fn measure(opts: &RunOptions) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for tcp in [true, false] {
-        for policy in [PolicyKind::Baseline, PolicyKind::Fixed(1)] {
-            rows.push(measure_one(opts, tcp, policy));
-        }
-    }
-    rows
+    const POLICIES: [PolicyKind; 2] = [PolicyKind::Baseline, PolicyKind::Fixed(1)];
+    parallel::run_indexed(opts.jobs, 4, |i| {
+        measure_one(opts, i / 2 == 0, POLICIES[i % 2])
+    })
 }
 
 /// Renders Figure 9a.
@@ -99,6 +97,10 @@ mod tests {
             fast.jitter_ms,
             base.jitter_ms
         );
-        assert!(base.jitter_ms > 1.0, "baseline jitter {} ms", base.jitter_ms);
+        assert!(
+            base.jitter_ms > 1.0,
+            "baseline jitter {} ms",
+            base.jitter_ms
+        );
     }
 }

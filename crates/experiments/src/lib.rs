@@ -44,8 +44,20 @@ use metrics::render::Table;
 
 /// Every experiment id the harness knows.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "table4a", "table4b", "table4c", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "ablations", "compare",
+    "table1",
+    "table2",
+    "table3",
+    "table4a",
+    "table4b",
+    "table4c",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablations",
+    "compare",
 ];
 
 /// Runs one experiment by id.

@@ -1,5 +1,7 @@
 //! Shared experiment machinery: policies, run options, and drivers.
 
+pub mod parallel;
+
 use hypervisor::policy::SchedPolicy;
 use hypervisor::{BaselinePolicy, Machine, MachineConfig, VmSpec};
 use microslice::{AdaptiveConfig, MicroslicePolicy};
@@ -23,9 +25,7 @@ impl PolicyKind {
         match self {
             PolicyKind::Baseline => Box::new(BaselinePolicy),
             PolicyKind::Fixed(n) => Box::new(MicroslicePolicy::fixed(n)),
-            PolicyKind::Adaptive => {
-                Box::new(MicroslicePolicy::adaptive(AdaptiveConfig::default()))
-            }
+            PolicyKind::Adaptive => Box::new(MicroslicePolicy::adaptive(AdaptiveConfig::default())),
         }
     }
 
@@ -47,6 +47,11 @@ pub struct RunOptions {
     pub quick: bool,
     /// Base RNG seed (experiments offset it per run).
     pub seed: u64,
+    /// Worker threads for fanning out independent runs. `1` (the default
+    /// here) executes serially on the calling thread in today's exact
+    /// order; any value produces byte-identical results — see
+    /// [`parallel`].
+    pub jobs: usize,
 }
 
 impl Default for RunOptions {
@@ -54,6 +59,7 @@ impl Default for RunOptions {
         RunOptions {
             quick: false,
             seed: 0xE005_2018, // EuroSys 2018.
+            jobs: 1,
         }
     }
 }
@@ -65,6 +71,27 @@ impl RunOptions {
             quick: true,
             ..Default::default()
         }
+    }
+
+    /// Sets the worker-thread count (builder style). Zero is clamped to 1.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Derives an independent seed for run `index` from the base seed.
+    ///
+    /// SplitMix64 over `seed ^ index`: statistically independent streams
+    /// per run, stable across job counts (a pure function of the index),
+    /// and distinct even for adjacent indices. Experiments that want
+    /// per-run seed variation use this instead of ad-hoc offsets so the
+    /// derivation is uniform across the suite.
+    pub fn seed_for(&self, index: u64) -> u64 {
+        let mut z = self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Scales an iteration budget down in quick mode.
@@ -135,9 +162,7 @@ pub fn run_to_completion(
 
 /// Execution time of a VM in seconds (panics if it has not finished).
 pub fn exec_secs(m: &Machine, vm: VmId) -> f64 {
-    m.vm_finished_at(vm)
-        .expect("VM finished")
-        .as_secs_f64()
+    m.vm_finished_at(vm).expect("VM finished").as_secs_f64()
 }
 
 /// Throughput of a VM in work units per second over `[0, until]`.
@@ -172,7 +197,35 @@ mod tests {
         assert!(q.window(SimDuration::from_secs(4)) < SimDuration::from_secs(4));
         let f = RunOptions::default();
         assert_eq!(f.iters(10_000), 10_000);
-        assert_eq!(f.window(SimDuration::from_secs(4)), SimDuration::from_secs(4));
+        assert_eq!(
+            f.window(SimDuration::from_secs(4)),
+            SimDuration::from_secs(4)
+        );
+    }
+
+    #[test]
+    fn seed_derivation_is_stable_and_distinct() {
+        let opts = RunOptions::default();
+        // Pure function of (base seed, index): same call, same value.
+        assert_eq!(opts.seed_for(3), opts.seed_for(3));
+        // Adjacent indices get unrelated seeds.
+        let seeds: Vec<u64> = (0..64).map(|i| opts.seed_for(i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "seed collision across indices");
+        // Different base seeds diverge.
+        let other = RunOptions {
+            seed: 1,
+            ..Default::default()
+        };
+        assert_ne!(opts.seed_for(0), other.seed_for(0));
+    }
+
+    #[test]
+    fn with_jobs_clamps_zero() {
+        assert_eq!(RunOptions::default().with_jobs(0).jobs, 1);
+        assert_eq!(RunOptions::default().with_jobs(8).jobs, 8);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! (coarse whole-vCPU classification), fixed-µsliced (every core 0.1 ms),
 //! and the paper's flexible micro-sliced cores (static best + dynamic).
 
-use crate::runner::{PolicyKind, RunOptions};
+use crate::runner::{parallel, PolicyKind, RunOptions};
 use hypervisor::policy::SchedPolicy;
 use hypervisor::{Machine, MachineConfig};
 use metrics::render::{fmt_f64, Table};
@@ -132,15 +132,25 @@ fn iperf_run(opts: &RunOptions, scheme: Scheme) -> f64 {
     m.vm(VmId(0)).kernel.flows[0].jitter_ms()
 }
 
-/// Runs all schemes across all three symptoms.
+/// Runs all schemes across all three symptoms — an 18-cell scheme ×
+/// symptom grid fanned across `opts.jobs` workers.
 pub fn measure(opts: &RunOptions) -> Vec<Row> {
+    let grid = parallel::run_indexed(opts.jobs, Scheme::ALL.len() * 3, |i| {
+        let scheme = Scheme::ALL[i / 3];
+        match i % 3 {
+            0 => exim_run(opts, scheme),
+            1 => dedup_run(opts, scheme),
+            _ => iperf_run(opts, scheme),
+        }
+    });
     Scheme::ALL
         .iter()
-        .map(|&scheme| Row {
+        .enumerate()
+        .map(|(si, &scheme)| Row {
             scheme,
-            exim_tput: exim_run(opts, scheme),
-            dedup_secs: dedup_run(opts, scheme),
-            iperf_jitter_ms: iperf_run(opts, scheme),
+            exim_tput: grid[si * 3],
+            dedup_secs: grid[si * 3 + 1],
+            iperf_jitter_ms: grid[si * 3 + 2],
         })
         .collect()
 }
@@ -174,7 +184,10 @@ mod tests {
     use super::*;
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow under debug; run with cargo test --release"
+    )]
     fn comparators_cover_their_claimed_symptoms_only() {
         let opts = RunOptions::quick();
         // vTurbo fixes I/O but not TLB.

@@ -5,7 +5,7 @@
 //! configurations. The reproduction target is the *shape*: co-run yields
 //! exceed solo yields by orders of magnitude.
 
-use crate::runner::{run_window, PolicyKind, RunOptions};
+use crate::runner::{parallel, run_window, PolicyKind, RunOptions};
 use metrics::render::Table;
 use simcore::ids::VmId;
 use simcore::time::SimDuration;
@@ -30,45 +30,41 @@ pub struct Row {
     pub corun: u64,
 }
 
-/// Runs the measurement and returns the raw rows.
+/// Runs the measurement and returns the raw rows. The workload ×
+/// {solo, co-run} grid fans out across `opts.jobs` workers; each run
+/// returns only the target VM's yield count, so nothing heavyweight
+/// crosses threads.
 pub fn measure(opts: &RunOptions) -> Vec<Row> {
     let window = opts.window(SimDuration::from_secs(4));
+    // Endless variants in both configurations: Table 2 counts yields
+    // while the workload runs, not completion times.
+    let yields = parallel::run_indexed(opts.jobs, WORKLOADS.len() * 2, |i| {
+        let w = WORKLOADS[i / 2];
+        let scenario = if i % 2 == 0 {
+            let (cfg, _) = scenarios::solo(w);
+            let spec = scenarios::vm_with_iters(w, cfg.num_pcpus, None);
+            (cfg, vec![spec])
+        } else {
+            let (cfg, _) = scenarios::corun(w);
+            let n = cfg.num_pcpus;
+            (
+                cfg,
+                vec![
+                    scenarios::vm_with_iters(w, n, None),
+                    scenarios::vm_with_iters(Workload::Swaptions, n, None),
+                ],
+            )
+        };
+        let m = run_window(opts, scenario, PolicyKind::Baseline, window);
+        m.stats.vm(VmId(0)).yields.total()
+    });
     WORKLOADS
         .iter()
-        .map(|&w| {
-            // Endless variants in both configurations: Table 2 counts
-            // yields while the workload runs, not completion times.
-            let solo_m = run_window(
-                opts,
-                {
-                    let (cfg, _) = scenarios::solo(w);
-                    let spec = scenarios::vm_with_iters(w, cfg.num_pcpus, None);
-                    (cfg, vec![spec])
-                },
-                PolicyKind::Baseline,
-                window,
-            );
-            let corun_m = run_window(
-                opts,
-                {
-                    let (cfg, _) = scenarios::corun(w);
-                    let n = cfg.num_pcpus;
-                    (
-                        cfg,
-                        vec![
-                            scenarios::vm_with_iters(w, n, None),
-                            scenarios::vm_with_iters(Workload::Swaptions, n, None),
-                        ],
-                    )
-                },
-                PolicyKind::Baseline,
-                window,
-            );
-            Row {
-                workload: w,
-                solo: solo_m.stats.vm(VmId(0)).yields.total(),
-                corun: corun_m.stats.vm(VmId(0)).yields.total(),
-            }
+        .enumerate()
+        .map(|(wi, &w)| Row {
+            workload: w,
+            solo: yields[wi * 2],
+            corun: yields[wi * 2 + 1],
         })
         .collect()
 }

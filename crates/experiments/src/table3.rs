@@ -6,7 +6,7 @@
 //! census (instruction pointers resolved through the symbol table), and
 //! report each observed kernel function with its whitelist class.
 
-use crate::runner::{run_window, PolicyKind, RunOptions};
+use crate::runner::{parallel, run_window, PolicyKind, RunOptions};
 use ksym::whitelist::{CriticalClass, Whitelist};
 use metrics::render::Table;
 use simcore::time::SimDuration;
@@ -16,10 +16,17 @@ use workloads::{scenarios, Workload};
 /// Runs the census and returns `(site, class, count)` sorted by count.
 pub fn measure(opts: &RunOptions) -> Vec<(&'static str, CriticalClass, u64)> {
     let window = opts.window(SimDuration::from_secs(3));
-    let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
-    for w in [Workload::Gmake, Workload::Dedup, Workload::Psearchy] {
+    // The three co-run scenarios fan out; each worker returns only its
+    // site counts. The merged census sums counts, so any merge order
+    // yields the same BTreeMap — index order is kept anyway.
+    const WORKLOADS: [Workload; 3] = [Workload::Gmake, Workload::Dedup, Workload::Psearchy];
+    let per_run = parallel::map(opts.jobs, &WORKLOADS, |&w| {
         let m = run_window(opts, scenarios::corun(w), PolicyKind::Baseline, window);
-        for (site, count) in &m.stats.yield_sites {
+        m.stats.yield_sites.clone()
+    });
+    let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for sites in per_run {
+        for (site, count) in &sites {
             *census.entry(site).or_insert(0) += count;
         }
     }
@@ -70,8 +77,7 @@ mod tests {
         assert!(sites.contains(&"default_idle"));
         // Every named critical site classifies as critical.
         for (site, class, _) in &rows {
-            if *site == "native_queued_spin_lock_slowpath" || *site == "smp_call_function_many"
-            {
+            if *site == "native_queued_spin_lock_slowpath" || *site == "smp_call_function_many" {
                 assert!(class.is_critical());
             }
         }

@@ -6,7 +6,7 @@
 //!   (SystemTap on `native_flush_tlb_others`).
 //! - **4c** — iPerf jitter and throughput, solo vs mixed co-run.
 
-use crate::runner::{run_window, PolicyKind, RunOptions};
+use crate::runner::{parallel, run_window, PolicyKind, RunOptions};
 use guest::kernel::LockKind;
 use metrics::render::{fmt_f64, Table};
 use simcore::ids::VmId;
@@ -24,8 +24,10 @@ pub const TABLE4A_KINDS: [LockKind; 4] = [
 /// Measured mean waits in µs: `(kind, solo, corun)`.
 pub fn measure_4a(opts: &RunOptions) -> Vec<(LockKind, f64, f64)> {
     let window = opts.window(SimDuration::from_secs(4));
-    let run = |corun: bool| {
-        let scenario = if corun {
+    // The solo and co-run simulations fan out; workers return per-kind
+    // mean waits (plain floats), never the machine itself.
+    let waits = parallel::run_indexed(opts.jobs, 2, |i| {
+        let scenario = if i == 1 {
             scenarios::corun(Workload::Gmake)
         } else {
             scenarios::solo(Workload::Gmake)
@@ -33,17 +35,19 @@ pub fn measure_4a(opts: &RunOptions) -> Vec<(LockKind, f64, f64)> {
         // Endless gmake: measure waits while it runs.
         let (cfg, mut specs) = scenario;
         specs[0] = scenarios::vm_with_iters(Workload::Gmake, cfg.num_pcpus, None);
-        run_window(opts, (cfg, specs), PolicyKind::Baseline, window)
-    };
-    let solo = run(false);
-    let corun = run(true);
+        let m = run_window(opts, (cfg, specs), PolicyKind::Baseline, window);
+        TABLE4A_KINDS.map(|kind| {
+            m.vm(VmId(0))
+                .kernel
+                .lock_wait_of(kind)
+                .mean()
+                .as_micros_f64()
+        })
+    });
     TABLE4A_KINDS
         .iter()
-        .map(|&kind| {
-            let s = solo.vm(VmId(0)).kernel.lock_wait_of(kind).mean();
-            let c = corun.vm(VmId(0)).kernel.lock_wait_of(kind).mean();
-            (kind, s.as_micros_f64(), c.as_micros_f64())
-        })
+        .enumerate()
+        .map(|(ki, &kind)| (kind, waits[0][ki], waits[1][ki]))
         .collect()
 }
 
@@ -64,36 +68,37 @@ pub fn run_4a(opts: &RunOptions) -> Vec<Table> {
 /// Measured TLB-sync latency in µs: `(workload, config, avg, min, max)`.
 pub fn measure_4b(opts: &RunOptions) -> Vec<(Workload, &'static str, f64, f64, f64)> {
     let window = opts.window(SimDuration::from_secs(4));
-    let mut rows = Vec::new();
-    for w in [Workload::Dedup, Workload::Vips] {
-        for corun in [false, true] {
-            let (cfg, _) = scenarios::solo(w);
-            let n = cfg.num_pcpus;
-            let mut specs = vec![scenarios::vm_with_iters(w, n, None)];
-            let label = if corun {
-                specs.push(scenarios::vm_with_iters(Workload::Swaptions, n, None));
-                "co-run"
-            } else {
-                "solo"
-            };
-            let m = run_window(opts, (cfg, specs), PolicyKind::Baseline, window);
-            let h = &m.vm(VmId(0)).kernel.tlb_latency;
-            rows.push((
-                w,
-                label,
-                h.mean().as_micros_f64(),
-                h.min().as_micros_f64(),
-                h.max().as_micros_f64(),
-            ));
-        }
-    }
-    rows
+    const GRID: [Workload; 2] = [Workload::Dedup, Workload::Vips];
+    parallel::run_indexed(opts.jobs, GRID.len() * 2, |i| {
+        let w = GRID[i / 2];
+        let corun = i % 2 == 1;
+        let (cfg, _) = scenarios::solo(w);
+        let n = cfg.num_pcpus;
+        let mut specs = vec![scenarios::vm_with_iters(w, n, None)];
+        let label = if corun {
+            specs.push(scenarios::vm_with_iters(Workload::Swaptions, n, None));
+            "co-run"
+        } else {
+            "solo"
+        };
+        let m = run_window(opts, (cfg, specs), PolicyKind::Baseline, window);
+        let h = &m.vm(VmId(0)).kernel.tlb_latency;
+        (
+            w,
+            label,
+            h.mean().as_micros_f64(),
+            h.min().as_micros_f64(),
+            h.max().as_micros_f64(),
+        )
+    })
 }
 
 /// Renders Table 4b.
 pub fn run_4b(opts: &RunOptions) -> Vec<Table> {
-    let mut t = Table::new(vec!["workload", "config", "avg (us)", "min (us)", "max (us)"])
-        .with_title("Table 4b: TLB synchronization latency");
+    let mut t = Table::new(vec![
+        "workload", "config", "avg (us)", "min (us)", "max (us)",
+    ])
+    .with_title("Table 4b: TLB synchronization latency");
     for (w, label, avg, min, max) in measure_4b(opts) {
         t.row(vec![
             w.name().to_string(),
@@ -109,20 +114,16 @@ pub fn run_4b(opts: &RunOptions) -> Vec<Table> {
 /// Measured iPerf numbers: `(config, jitter ms, throughput Mbit/s)`.
 pub fn measure_4c(opts: &RunOptions) -> Vec<(&'static str, f64, f64)> {
     let window = opts.window(SimDuration::from_secs(4));
-    let solo = run_window(opts, scenarios::iperf_solo(true), PolicyKind::Baseline, window);
-    let mixed = run_window(
-        opts,
-        scenarios::mixed_iperf_corun(),
-        PolicyKind::Baseline,
-        window,
-    );
-    let flow_of = |m: &hypervisor::Machine| {
+    parallel::run_indexed(opts.jobs, 2, |i| {
+        let (label, scenario) = if i == 0 {
+            ("solo", scenarios::iperf_solo(true))
+        } else {
+            ("mixed co-run", scenarios::mixed_iperf_corun())
+        };
+        let m = run_window(opts, scenario, PolicyKind::Baseline, window);
         let f = &m.vm(VmId(0)).kernel.flows[0];
-        (f.jitter_ms(), f.throughput_mbps(m.now()))
-    };
-    let (sj, st) = flow_of(&solo);
-    let (mj, mt) = flow_of(&mixed);
-    vec![("solo", sj, st), ("mixed co-run", mj, mt)]
+        (label, f.jitter_ms(), f.throughput_mbps(m.now()))
+    })
 }
 
 /// Renders Table 4c.

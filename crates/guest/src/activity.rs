@@ -275,9 +275,7 @@ impl VcpuCtx {
 
     /// True if the guest has nothing to do on this vCPU (would HLT).
     pub fn is_idle(&self) -> bool {
-        matches!(self.activity, Activity::Idle)
-            && self.pending.is_empty()
-            && self.runq.is_empty()
+        matches!(self.activity, Activity::Idle) && self.pending.is_empty() && self.runq.is_empty()
     }
 
     /// Queues interrupt work for this vCPU.
@@ -341,7 +339,10 @@ mod tests {
         let cases: Vec<(Activity, CriticalClass)> = vec![
             (Activity::Idle, CriticalClass::NotCritical),
             (
-                Activity::User { task: 0, rem: us(1) },
+                Activity::User {
+                    task: 0,
+                    rem: us(1),
+                },
                 CriticalClass::NotCritical,
             ),
             (
@@ -421,7 +422,10 @@ mod tests {
 
     #[test]
     fn advance_decrements_timed_and_accrues_spin() {
-        let mut a = Activity::User { task: 0, rem: us(10) };
+        let mut a = Activity::User {
+            task: 0,
+            rem: us(10),
+        };
         a.advance(us(4));
         assert_eq!(a.rem(), Some(us(6)));
         a.advance(us(100));
@@ -445,7 +449,10 @@ mod tests {
     #[test]
     fn kwork_interrupt_stack() {
         let mut ctx = VcpuCtx::new(2);
-        ctx.activity = Activity::User { task: 5, rem: us(10) };
+        ctx.activity = Activity::User {
+            task: 5,
+            rem: us(10),
+        };
         ctx.push_kwork(KWork::TlbFlush { sd: ShootdownId(9) });
         ctx.push_kwork(KWork::Virq {
             pkt_seq: 1,
@@ -465,7 +472,13 @@ mod tests {
 
         assert!(matches!(ctx.end_kwork(), KWork::Virq { .. }));
         assert!(matches!(ctx.end_kwork(), KWork::TlbFlush { .. }));
-        assert_eq!(ctx.activity, Activity::User { task: 5, rem: us(10) });
+        assert_eq!(
+            ctx.activity,
+            Activity::User {
+                task: 5,
+                rem: us(10)
+            }
+        );
         assert!(ctx.interrupted.is_empty());
         assert!(ctx.begin_kwork(us(1)).is_none());
     }

@@ -159,13 +159,19 @@ impl VmKernel {
     /// Records a completed lock acquisition's wait time.
     pub fn record_lock_wait(&mut self, lock: u16, wait: SimDuration) {
         let kind = self.layout.kind_of(lock);
-        let slot = LockKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+        let slot = LockKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind in ALL");
         self.lock_wait[slot].record(wait);
     }
 
     /// The wait-time histogram for a lock kind.
     pub fn lock_wait_of(&self, kind: LockKind) -> &Histogram {
-        let slot = LockKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+        let slot = LockKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind in ALL");
         &self.lock_wait[slot]
     }
 }

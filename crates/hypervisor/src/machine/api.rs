@@ -161,8 +161,7 @@ impl Machine {
     /// next deschedule (or immediately if it is queued).
     pub fn set_sticky_micro(&mut self, vcpu: VcpuId, sticky: bool) {
         self.vcpu_mut(vcpu).sticky_micro = sticky;
-        if !sticky && self.vcpu(vcpu).pool == PoolId::Micro && self.vcpu(vcpu).is_preempted()
-        {
+        if !sticky && self.vcpu(vcpu).pool == PoolId::Micro && self.vcpu(vcpu).is_preempted() {
             // Pull it out of the micro queue right away.
             if let Some(pcpu) = self.vcpu(vcpu).pcpu() {
                 self.pcpus[pcpu.0 as usize].remove(vcpu);

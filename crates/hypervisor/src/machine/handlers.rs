@@ -59,9 +59,7 @@ impl Machine {
             }
             Stop::Ple => {
                 // Pause-loop exit: reset the spin burst and yield.
-                if let Activity::SpinWait { spun, .. } =
-                    &mut self.vcpu_mut(vcpu).ctx.activity
-                {
+                if let Activity::SpinWait { spun, .. } = &mut self.vcpu_mut(vcpu).ctx.activity {
                     *spun = simcore::time::SimDuration::ZERO;
                 }
                 self.do_yield(vcpu, YieldCause::Spinlock);

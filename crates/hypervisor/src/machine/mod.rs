@@ -144,11 +144,7 @@ pub struct Machine {
 
 impl Machine {
     /// Builds a machine from a configuration, VM specs, and a policy.
-    pub fn new(
-        cfg: MachineConfig,
-        specs: Vec<VmSpec>,
-        policy: Box<dyn SchedPolicy>,
-    ) -> Self {
+    pub fn new(cfg: MachineConfig, specs: Vec<VmSpec>, policy: Box<dyn SchedPolicy>) -> Self {
         assert!(cfg.num_pcpus > 0, "need at least one pCPU");
         assert!(!specs.is_empty(), "need at least one VM");
         let mut rng = SimRng::new(cfg.seed);
@@ -199,10 +195,7 @@ impl Machine {
         for vm_i in 0..self.vms.len() {
             for t in 0..self.vms[vm_i].tasks.len() {
                 let home = self.vms[vm_i].tasks[t].home_vcpu;
-                self.vcpus[vm_i][home as usize]
-                    .ctx
-                    .runq
-                    .push_back(t as u32);
+                self.vcpus[vm_i][home as usize].ctx.runq.push_back(t as u32);
             }
         }
         // Round-robin initial placement of non-idle vCPUs over the normal
@@ -215,11 +208,8 @@ impl Machine {
                     continue; // No tasks: stays blocked (guest idle).
                 }
                 let vc = &self.vcpus[vm_i][v];
-                let allowed: Vec<PcpuId> = members
-                    .iter()
-                    .copied()
-                    .filter(|&p| vc.allows(p))
-                    .collect();
+                let allowed: Vec<PcpuId> =
+                    members.iter().copied().filter(|&p| vc.allows(p)).collect();
                 assert!(!allowed.is_empty(), "vCPU affinity excludes every pCPU");
                 let pcpu = allowed[next % allowed.len()];
                 next += 1;
@@ -266,11 +256,7 @@ impl Machine {
     /// first. On return, [`Machine::now`] equals `deadline` (or the last
     /// event time if the queue drained early).
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (t, event) = self.queue.pop().expect("peeked");
+        while let Some((t, event)) = self.queue.pop_at_or_before(deadline) {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.handle(event);
@@ -285,13 +271,9 @@ impl Machine {
     /// the finish time if the VM completed.
     pub fn run_until_vm_finished(&mut self, vm: VmId, horizon: SimTime) -> Option<SimTime> {
         while self.vms[vm.0 as usize].finished_at.is_none() {
-            let Some(t) = self.queue.peek_time() else {
+            let Some((t, event)) = self.queue.pop_at_or_before(horizon) else {
                 break;
             };
-            if t > horizon {
-                break;
-            }
-            let (t, event) = self.queue.pop().expect("peeked");
             self.now = t;
             self.handle(event);
         }
@@ -309,13 +291,9 @@ impl Machine {
                 .all(|vm| vm.finished_at.is_some())
         };
         while !all_done(self) {
-            let Some(t) = self.queue.peek_time() else {
+            let Some((t, event)) = self.queue.pop_at_or_before(horizon) else {
                 break;
             };
-            if t > horizon {
-                break;
-            }
-            let (t, event) = self.queue.pop().expect("peeked");
             self.now = t;
             self.handle(event);
         }
@@ -335,10 +313,7 @@ impl Machine {
 
     /// Invokes a closure with the policy temporarily detached, so the
     /// policy can call back into the machine.
-    pub(crate) fn with_policy(
-        &mut self,
-        f: impl FnOnce(&mut dyn SchedPolicy, &mut Machine),
-    ) {
+    pub(crate) fn with_policy(&mut self, f: impl FnOnce(&mut dyn SchedPolicy, &mut Machine)) {
         if let Some(mut policy) = self.policy.take() {
             f(policy.as_mut(), self);
             self.policy = Some(policy);

@@ -168,8 +168,7 @@ impl Machine {
             if admissible.is_empty() {
                 continue;
             }
-            let entry = self.pcpus[donor.0 as usize]
-                .steal_tail(|v| admissible.contains(&v));
+            let entry = self.pcpus[donor.0 as usize].steal_tail(|v| admissible.contains(&v));
             if let Some(entry) = entry {
                 self.stats.counters.incr("steals");
                 self.vcpu_mut(entry.vcpu).state = VState::Runnable { pcpu };
@@ -186,11 +185,7 @@ impl Machine {
         let members = self.pools.members(pool);
         let vc = self.vcpu(vcpu);
         let allowed: Vec<PcpuId> = if pool == PoolId::Normal {
-            let filtered: Vec<PcpuId> = members
-                .iter()
-                .copied()
-                .filter(|&p| vc.allows(p))
-                .collect();
+            let filtered: Vec<PcpuId> = members.iter().copied().filter(|&p| vc.allows(p)).collect();
             if filtered.is_empty() {
                 members
             } else {
@@ -396,6 +391,7 @@ impl Machine {
             (at, stop)
         };
         let gen = self.vcpu(vcpu).gen;
-        self.queue.push(at.max(self.now), Event::Transition { vcpu, gen, stop });
+        self.queue
+            .push(at.max(self.now), Event::Transition { vcpu, gen, stop });
     }
 }

@@ -28,10 +28,7 @@ impl Machine {
         for _guard in 0..STEP_GUARD {
             // Take pending interrupt work first (IRQs beat everything),
             // unless already inside a handler (interrupts stay disabled).
-            let in_handler = matches!(
-                self.vcpus[vmi][vi].ctx.activity,
-                Activity::KWorkRun { .. }
-            );
+            let in_handler = matches!(self.vcpus[vmi][vi].ctx.activity, Activity::KWorkRun { .. });
             if !in_handler && !self.vcpus[vmi][vi].ctx.pending.is_empty() {
                 let work = *self.vcpus[vmi][vi]
                     .ctx
@@ -70,8 +67,8 @@ impl Machine {
                         Activity::User { .. } | Activity::UserCritical { .. }
                     );
                     if is_user && !self.vcpus[vmi][vi].ctx.runq.is_empty() {
-                        let preempt_at = self.vcpus[vmi][vi].ctx.task_started
-                            + self.cfg.guest_slice;
+                        let preempt_at =
+                            self.vcpus[vmi][vi].ctx.task_started + self.cfg.guest_slice;
                         if preempt_at < start + rem {
                             self.plan_stop(vcpu, preempt_at, Stop::GuestPreempt);
                             return;
@@ -98,8 +95,7 @@ impl Machine {
                     spun,
                     wait_start,
                 } => {
-                    let acquired =
-                        self.vms[vmi].kernel.locks[lock as usize].try_acquire(vcpu);
+                    let acquired = self.vms[vmi].kernel.locks[lock as usize].try_acquire(vcpu);
                     if acquired {
                         let waited = self.now.saturating_since(wait_start);
                         self.vms[vmi].kernel.record_lock_wait(lock, waited);
@@ -193,10 +189,7 @@ impl Machine {
     pub(crate) fn guest_preempt(&mut self, vcpu: VcpuId) {
         let vmi = vcpu.vm.0 as usize;
         let vi = vcpu.idx as usize;
-        let activity = core::mem::replace(
-            &mut self.vcpus[vmi][vi].ctx.activity,
-            Activity::Idle,
-        );
+        let activity = core::mem::replace(&mut self.vcpus[vmi][vi].ctx.activity, Activity::Idle);
         let Some(task) = activity.task() else {
             // Nothing task-bound (interrupt work): restore and bail.
             self.vcpus[vmi][vi].ctx.activity = activity;
@@ -259,11 +252,12 @@ impl Machine {
             .collect();
         self.stats.counters.incr("tlb_shootdowns");
         self.stats.counters.add("ipis_sent", targets.len() as u64);
-        let sd = self
-            .vms[vmi]
-            .kernel
-            .shootdowns
-            .start(vcpu.idx, task, targets.iter().copied(), self.now);
+        let sd = self.vms[vmi].kernel.shootdowns.start(
+            vcpu.idx,
+            task,
+            targets.iter().copied(),
+            self.now,
+        );
         if targets.is_empty() {
             let started = self.vms[vmi].kernel.shootdowns.finish(sd);
             let latency = self.now.saturating_since(started);
@@ -301,8 +295,7 @@ impl Machine {
             KWork::TlbFlush { sd } => {
                 let complete = self.vms[vmi].kernel.shootdowns.ack(sd, vcpu.idx);
                 if complete {
-                    let info = self
-                        .vms[vmi]
+                    let info = self.vms[vmi]
                         .kernel
                         .shootdowns
                         .get(sd)
@@ -354,11 +347,13 @@ impl Machine {
                 self.wake_task_interactive(vcpu.vm, target_task);
                 // NAPI re-arm: more backlog means another softIRQ pass.
                 if self.vms[vmi].kernel.flows[fi].backlog_len() > 0 {
-                    self.vcpus[vmi][vcpu.idx as usize].ctx.push_kwork(KWork::Virq {
-                        pkt_seq: 0,
-                        flow,
-                        arrived: self.now,
-                    });
+                    self.vcpus[vmi][vcpu.idx as usize]
+                        .ctx
+                        .push_kwork(KWork::Virq {
+                            pkt_seq: 0,
+                            flow,
+                            arrived: self.now,
+                        });
                 } else {
                     self.vms[vmi].kernel.flows[fi].virq_outstanding = false;
                 }
@@ -438,10 +433,11 @@ impl Machine {
                     return;
                 }
                 guest::segment::Segment::Critical { lock, sym, hold } => {
-                    let acquired =
-                        self.vms[vmi].kernel.locks[lock as usize].try_acquire(vcpu);
+                    let acquired = self.vms[vmi].kernel.locks[lock as usize].try_acquire(vcpu);
                     if acquired {
-                        self.vms[vmi].kernel.record_lock_wait(lock, SimDuration::ZERO);
+                        self.vms[vmi]
+                            .kernel
+                            .record_lock_wait(lock, SimDuration::ZERO);
                         self.vcpus[vmi][vi].ctx.activity = Activity::CriticalHold {
                             task,
                             lock,
@@ -479,13 +475,8 @@ impl Machine {
                 guest::segment::Segment::Sleep { dur } => {
                     self.vms[vmi].tasks[ti].state = TaskState::Blocked;
                     self.vcpus[vmi][vi].ctx.activity = Activity::Idle;
-                    self.queue.push(
-                        self.now + dur,
-                        Event::TaskWake {
-                            vm: vcpu.vm,
-                            task,
-                        },
-                    );
+                    self.queue
+                        .push(self.now + dur, Event::TaskWake { vm: vcpu.vm, task });
                     return;
                 }
                 guest::segment::Segment::NetRecv => {

@@ -237,7 +237,10 @@ fn tlb_shootdown_straggles_under_overcommit() {
         "no straggler ever waited a scheduling round: {}",
         vm.kernel.tlb_latency.max()
     );
-    assert!(m.stats.vm(VmId(0)).yields.ipi > 0, "IPI-wait yields expected");
+    assert!(
+        m.stats.vm(VmId(0)).yields.ipi > 0,
+        "IPI-wait yields expected"
+    );
 }
 
 #[test]
@@ -419,7 +422,10 @@ fn ip_of_running_vcpus_resolves_via_symbol_table() {
             saw_critical = true;
         }
     }
-    assert!(saw_critical, "a holder should be inside the critical section");
+    assert!(
+        saw_critical,
+        "a holder should be inside the critical section"
+    );
 }
 
 #[test]

@@ -89,7 +89,11 @@ fn sticky_micro_residents_stay_until_unpinned() {
     assert!(m.try_accelerate(target) || m.vcpu(target).pool == PoolId::Micro);
     // Many slices later it still lives in the micro pool.
     m.run_until(SimTime::from_millis(120));
-    assert_eq!(m.vcpu(target).pool, PoolId::Micro, "sticky resident evicted");
+    assert_eq!(
+        m.vcpu(target).pool,
+        PoolId::Micro,
+        "sticky resident evicted"
+    );
     // Unpin: it returns to the normal pool.
     m.set_sticky_micro(target, false);
     m.run_until(SimTime::from_millis(180));
@@ -134,7 +138,11 @@ fn request_acceleration_of_running_vcpu_defers_to_deschedule() {
         .find(|&x| m.vcpu(x).is_running() && m.vcpu(x).pool == PoolId::Normal)
         .expect("someone is running in the normal pool");
     assert!(m.request_acceleration(running));
-    assert_eq!(m.vcpu(running).pool, PoolId::Normal, "not moved while running");
+    assert_eq!(
+        m.vcpu(running).pool,
+        PoolId::Normal,
+        "not moved while running"
+    );
     // After its slice ends it lands in the micro pool (then is evicted on
     // the next deschedule, so check the migration counter instead).
     m.run_until(SimTime::from_millis(80));

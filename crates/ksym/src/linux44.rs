@@ -226,9 +226,6 @@ mod tests {
         let text = map.table().to_system_map();
         let reparsed = SymbolTable::parse_system_map(&text).unwrap();
         let ip = map.ip_in("smp_call_function_many");
-        assert_eq!(
-            reparsed.resolve(ip).unwrap().name,
-            "smp_call_function_many"
-        );
+        assert_eq!(reparsed.resolve(ip).unwrap().name, "smp_call_function_many");
     }
 }

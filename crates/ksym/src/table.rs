@@ -97,8 +97,8 @@ impl SymbolTable {
                 (Some(a), Some(t), Some(n)) => (a, t, n),
                 _ => return Err(ParseError::MalformedLine { line: i + 1 }),
             };
-            let addr =
-                u64::from_str_radix(addr, 16).map_err(|_| ParseError::BadAddress { line: i + 1 })?;
+            let addr = u64::from_str_radix(addr, 16)
+                .map_err(|_| ParseError::BadAddress { line: i + 1 })?;
             if ty.eq_ignore_ascii_case("t") {
                 symbols.push(Symbol {
                     addr,

@@ -104,7 +104,10 @@ pub const LINUX44_WHITELIST: &[(&str, CriticalClass)] = &[
     // spinlock release paths — the vCPU is inside a critical section.
     ("__raw_spin_unlock", CriticalClass::SpinlockCritical),
     ("__raw_spin_unlock_irq", CriticalClass::SpinlockCritical),
-    ("_raw_spin_unlock_irqrestore", CriticalClass::SpinlockCritical),
+    (
+        "_raw_spin_unlock_irqrestore",
+        CriticalClass::SpinlockCritical,
+    ),
     ("_raw_spin_unlock_bh", CriticalClass::SpinlockCritical),
     // Spin acquisition slowpaths — the PLE yield sites.
     ("_raw_spin_lock", CriticalClass::SpinWait),
@@ -193,10 +196,7 @@ mod tests {
     fn every_critical_function_is_whitelisted() {
         let wl = Whitelist::linux44();
         for name in CRITICAL_FUNCTIONS {
-            assert!(
-                wl.class_of(name).is_critical(),
-                "{name} should be critical"
-            );
+            assert!(wl.class_of(name).is_critical(), "{name} should be critical");
         }
     }
 

@@ -1,0 +1,61 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::Range;
+use std::collections::BTreeSet;
+
+/// Strategy producing `Vec`s with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A `Vec` strategy: `len ∈ size`, elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+/// Strategy producing `BTreeSet`s with a target size drawn from `size`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        // Duplicates shrink the set below target, so retry with a bound
+        // (mirrors proptest, which also gives up on tiny value domains).
+        let mut attempts = target * 10 + 16;
+        while set.len() < target && attempts > 0 {
+            set.insert(self.element.sample(rng));
+            attempts -= 1;
+        }
+        set
+    }
+}
+
+/// A `BTreeSet` strategy: size drawn from `size`, elements from
+/// `element` (best-effort when the value domain is small).
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty size range");
+    BTreeSetStrategy { element, size }
+}

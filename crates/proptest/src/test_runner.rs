@@ -1,0 +1,77 @@
+//! Test configuration and the deterministic sampling RNG.
+
+/// Configuration for a [`crate::proptest!`] block.
+///
+/// Only the `cases` knob changes behavior; construct with struct-update
+/// syntax as usual: `ProptestConfig { cases: 12, ..ProptestConfig::default() }`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this harness reports the failing
+    /// sample directly instead of shrinking.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// A deterministic RNG (SplitMix64) seeded from the test's full path.
+///
+/// Re-running the same test samples the same values, so failures are
+/// reproducible without persisted regression files. Set `PROPTEST_SEED`
+/// to explore a different stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test path gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = seed.parse::<u64>() {
+                h ^= s;
+            }
+        }
+        TestRng { state: h }
+    }
+
+    /// Next uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty sampling range");
+        // Multiply-shift rejection-free mapping (bias is negligible for
+        // test-sized bounds).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

@@ -1,43 +1,75 @@
 //! A cancellable, stably ordered discrete-event queue.
 //!
 //! Events at equal timestamps pop in insertion order, which makes the
-//! simulation deterministic regardless of heap internals. Cancellation is
-//! lazy: [`EventQueue::cancel`] marks a key and the queue skips the entry
-//! when it surfaces, which keeps both operations `O(log n)` amortised.
-
-use core::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+//! simulation deterministic regardless of heap internals. The queue is
+//! the simulator's hottest data structure — a 0.1 ms micro-slice run
+//! multiplies event counts ~300× over the 30 ms baseline — so it is
+//! built for per-event cost, not generality:
+//!
+//! - an **implicit 4-ary min-heap** over a flat `Vec` of 24-byte entries
+//!   (`(time, seq, slot)`): shallower than a binary heap, sift loops
+//!   touch consecutive cache lines, and no per-push allocation once the
+//!   vectors reach steady-state capacity;
+//! - a **generation-stamped slab** holding payloads: [`EventQueue::cancel`]
+//!   is `O(1)` — it takes the payload out of the slot and lets the dead
+//!   heap entry surface lazily — and stale keys are rejected by the
+//!   generation stamp with no hashing anywhere on the push/pop path.
+//!
+//! Ties cannot occur in the heap: the `(time, seq)` key is unique because
+//! `seq` increments on every push, which is also what gives FIFO order
+//! within a timestamp.
 
 use crate::time::SimTime;
 
 /// A handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Internally packs `(generation << 32) | slot`; a key is invalidated as
+/// soon as its event pops or is cancelled, and reusing it is harmless.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventKey(u64);
 
-struct Entry<E> {
+impl EventKey {
+    #[inline]
+    fn new(slot: u32, gen: u32) -> Self {
+        EventKey(((gen as u64) << 32) | slot as u64)
+    }
+
+    #[inline]
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// One implicit-heap entry. The ordering key `(at, seq)` is stored
+/// inline so sifting never chases into the slab.
+#[derive(Clone, Copy)]
+struct HeapEntry {
     at: SimTime,
     seq: u64,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl HeapEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
-/// A priority queue of timestamped events with stable FIFO tie-breaking.
+/// A payload slot. `payload == None` means the event was cancelled (its
+/// heap entry is still in flight) or the slot is free.
+struct Slot<E> {
+    gen: u32,
+    payload: Option<E>,
+}
+
+/// A priority queue of timestamped events with stable FIFO tie-breaking
+/// and `O(1)` cancellation.
 ///
 /// # Examples
 ///
@@ -53,9 +85,11 @@ impl<E> Ord for Entry<E> {
 /// assert!(q.is_empty());
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Sequence numbers of events pushed but neither popped nor cancelled.
-    pending: HashSet<u64>,
+    heap: Vec<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// Number of pending (non-cancelled) events.
+    live: usize,
     next_seq: u64,
 }
 
@@ -65,12 +99,18 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// Heap arity: 4 keeps the tree shallow and the child scan within one or
+/// two cache lines of `HeapEntry`s.
+const ARITY: usize = 4;
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             next_seq: 0,
         }
     }
@@ -79,50 +119,171 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, payload: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, payload }));
-        self.pending.insert(seq);
-        EventKey(seq)
+        let slot = match self.free.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                debug_assert!(s.payload.is_none());
+                s.payload = Some(payload);
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                assert!(i < u32::MAX, "event queue slot space exhausted");
+                self.slots.push(Slot {
+                    gen: 0,
+                    payload: Some(payload),
+                });
+                i
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(HeapEntry { at, seq, slot });
+        self.sift_up(self.heap.len() - 1);
+        self.live += 1;
+        EventKey::new(slot, gen)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event in `O(1)`.
     ///
     /// Returns `true` if the event was still pending; cancelling an already
     /// fired or already cancelled event returns `false` and is harmless.
+    /// The payload is dropped immediately; the heap entry surfaces (and is
+    /// discarded) lazily.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        self.pending.remove(&key.0)
+        let i = key.slot();
+        match self.slots.get_mut(i) {
+            Some(s) if s.gen == key.gen() && s.payload.is_some() => {
+                s.payload = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
-                return Some((entry.at, entry.payload));
+        while let Some(top) = self.pop_entry() {
+            if let Some(payload) = self.release(top.slot) {
+                return Some((top.at, payload));
             }
-            // Cancelled entry: skip it.
+            // Cancelled entry: its slot is now recycled, keep draining.
         }
         None
+    }
+
+    /// Removes and returns the earliest pending event if it fires at or
+    /// before `deadline` — the event loop's fused peek-then-pop, one heap
+    /// traversal per simulated event instead of two.
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let top = self.heap.first()?;
+            if top.at > deadline {
+                // Cancelled entries past the deadline stay put; they are
+                // reaped when the frontier reaches them.
+                let slot = top.slot as usize;
+                if self.slots[slot].payload.is_some() {
+                    return None;
+                }
+                let top = self.pop_entry().expect("non-empty");
+                self.release(top.slot);
+                continue;
+            }
+            let top = self.pop_entry().expect("non-empty");
+            if let Some(payload) = self.release(top.slot) {
+                return Some((top.at, payload));
+            }
+        }
     }
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drain cancelled entries off the top so the peek is accurate.
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.pending.contains(&entry.seq) {
-                return Some(entry.at);
+        loop {
+            let top = self.heap.first()?;
+            if self.slots[top.slot as usize].payload.is_some() {
+                return Some(top.at);
             }
-            self.heap.pop();
+            // Drain cancelled entries off the top so the peek is accurate.
+            let top = self.pop_entry().expect("non-empty");
+            self.release(top.slot);
         }
-        None
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
+    }
+
+    /// Takes the payload out of a surfaced slot and recycles the slot.
+    #[inline]
+    fn release(&mut self, slot: u32) -> Option<E> {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        let payload = s.payload.take();
+        self.free.push(slot);
+        if payload.is_some() {
+            self.live -= 1;
+        }
+        payload
+    }
+
+    /// Pops the heap root (regardless of cancellation state).
+    #[inline]
+    fn pop_entry(&mut self) -> Option<HeapEntry> {
+        let last = self.heap.pop()?;
+        if self.heap.is_empty() {
+            return Some(last);
+        }
+        let top = core::mem::replace(&mut self.heap[0], last);
+        self.sift_down(0);
+        Some(top)
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[parent].key() <= entry.key() {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        let entry = self.heap[i];
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut best = first_child;
+            let mut best_key = self.heap[first_child].key();
+            let last_child = (first_child + ARITY).min(len);
+            for c in first_child + 1..last_child {
+                let k = self.heap[c].key();
+                if k < best_key {
+                    best = c;
+                    best_key = k;
+                }
+            }
+            if entry.key() <= best_key {
+                break;
+            }
+            self.heap[i] = self.heap[best];
+            i = best;
+        }
+        self.heap[i] = entry;
     }
 }
 
@@ -176,6 +337,19 @@ mod tests {
     }
 
     #[test]
+    fn stale_key_after_slot_reuse_is_rejected() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_micros(1), 'a');
+        assert_eq!(q.pop(), Some((SimTime::from_micros(1), 'a')));
+        // The slot is recycled with a bumped generation: the old key must
+        // not cancel the new occupant.
+        let _b = q.push(SimTime::from_micros(2), 'b');
+        assert!(!q.cancel(a), "stale key cancelled a recycled slot");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(2), 'b')));
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.push(SimTime::from_micros(1), 'a');
@@ -184,6 +358,41 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
         assert_eq!(q.pop(), Some((SimTime::from_micros(5), 'b')));
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), 'a');
+        q.push(SimTime::from_micros(20), 'b');
+        q.push(SimTime::from_micros(30), 'c');
+        assert_eq!(q.pop_at_or_before(SimTime::from_micros(5)), None);
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_micros(20)),
+            Some((SimTime::from_micros(10), 'a'))
+        );
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_micros(20)),
+            Some((SimTime::from_micros(20), 'b'))
+        );
+        assert_eq!(q.pop_at_or_before(SimTime::from_micros(20)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(30), 'c')));
+    }
+
+    #[test]
+    fn pop_at_or_before_skips_cancelled_heads() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_micros(1), 'a');
+        let b = q.push(SimTime::from_micros(2), 'b');
+        q.push(SimTime::from_micros(3), 'c');
+        q.cancel(a);
+        q.cancel(b);
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_micros(10)),
+            Some((SimTime::from_micros(3), 'c'))
+        );
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -248,6 +457,84 @@ mod tests {
             for i in 0..n {
                 prop_assert_eq!(q.pop(), Some((t, i)));
             }
+        }
+
+        /// Interleaved push/pop/cancel against a naive reference model:
+        /// the slab + 4-ary heap must agree with a sorted-vec simulation
+        /// of the same operation sequence, including `len`.
+        #[test]
+        fn prop_matches_reference_model(
+            ops in proptest::collection::vec((0u16..4, 0u64..500), 1..300),
+        ) {
+            let mut q = EventQueue::new();
+            // Reference: (time, seq, id) kept sorted; cancellation by id.
+            let mut model: Vec<(u64, u64, u64)> = Vec::new();
+            let mut keys: Vec<(u64, EventKey)> = Vec::new();
+            let mut next_id = 0u64;
+            for (op, t) in ops {
+                match op {
+                    // Push.
+                    0 | 1 => {
+                        let key = q.push(SimTime::from_micros(t), next_id);
+                        model.push((t, next_id, next_id));
+                        keys.push((next_id, key));
+                        next_id += 1;
+                    }
+                    // Pop.
+                    2 => {
+                        model.sort_unstable();
+                        let expected = if model.is_empty() {
+                            None
+                        } else {
+                            let (t, _, id) = model.remove(0);
+                            Some((SimTime::from_micros(t), id))
+                        };
+                        prop_assert_eq!(q.pop(), expected);
+                    }
+                    // Cancel a pseudo-random outstanding key.
+                    _ => {
+                        if !keys.is_empty() {
+                            let pick = (t as usize) % keys.len();
+                            let (id, key) = keys.swap_remove(pick);
+                            let in_model = model.iter().position(|&(_, _, mid)| mid == id);
+                            let expect = in_model.is_some();
+                            if let Some(pos) = in_model {
+                                model.swap_remove(pos);
+                            }
+                            prop_assert_eq!(q.cancel(key), expect);
+                        }
+                    }
+                }
+                prop_assert_eq!(q.len(), model.len());
+            }
+        }
+
+        /// `pop_at_or_before` equals peek-check-then-pop for arbitrary
+        /// deadlines over arbitrary event sets.
+        #[test]
+        fn prop_pop_at_or_before_matches_peek_pop(
+            times in proptest::collection::vec(0u64..100, 1..80),
+            deadline in 0u64..100,
+        ) {
+            let mut a = EventQueue::new();
+            let mut b = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                a.push(SimTime::from_micros(t), i);
+                b.push(SimTime::from_micros(t), i);
+            }
+            let deadline = SimTime::from_micros(deadline);
+            loop {
+                let fused = a.pop_at_or_before(deadline);
+                let split = match b.peek_time() {
+                    Some(t) if t <= deadline => b.pop(),
+                    _ => None,
+                };
+                prop_assert_eq!(fused, split);
+                if fused.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(a.len(), b.len());
         }
     }
 }

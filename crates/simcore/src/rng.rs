@@ -65,10 +65,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -250,7 +247,9 @@ mod tests {
         let mean = SimDuration::from_micros(50);
         let sd = SimDuration::from_micros(10);
         let n = 50_000u64;
-        let total: u64 = (0..n).map(|_| rng.normal_duration(mean, sd).as_nanos()).sum();
+        let total: u64 = (0..n)
+            .map(|_| rng.normal_duration(mean, sd).as_nanos())
+            .sum();
         let avg = total as f64 / n as f64;
         assert!((avg - 50_000.0).abs() < 1_000.0);
     }

@@ -378,8 +378,14 @@ mod tests {
             SimDuration::from_millis(30) / SimDuration::from_micros(100),
             300
         );
-        assert_eq!(SimDuration::from_micros(10) * 3, SimDuration::from_micros(30));
-        assert_eq!(SimDuration::from_micros(30) / 3, SimDuration::from_micros(10));
+        assert_eq!(
+            SimDuration::from_micros(10) * 3,
+            SimDuration::from_micros(30)
+        );
+        assert_eq!(
+            SimDuration::from_micros(30) / 3,
+            SimDuration::from_micros(10)
+        );
     }
 
     #[test]

@@ -72,15 +72,29 @@ impl<T> TraceBuffer<T> {
     }
 
     /// True if the buffer is currently recording.
+    ///
+    /// Inlined so hot-path callers guarding a record construction compile
+    /// the disabled case down to a single flag test.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
     /// Appends a record, evicting the oldest one if the buffer is full.
+    ///
+    /// The disabled check is split into an inlined early-out so simulation
+    /// hot paths pay one predictable branch when tracing is off, without
+    /// the cost of a full (outlined) call.
+    #[inline]
     pub fn record(&mut self, at: SimTime, event: T) {
         if !self.enabled {
             return;
         }
+        self.record_slow(at, event);
+    }
+
+    #[cold]
+    fn record_slow(&mut self, at: SimTime, event: T) {
         if self.capacity == 0 {
             self.dropped += 1;
             return;

@@ -110,11 +110,31 @@ impl Workload {
                 name: "exim",
                 user_mean: us(25),
                 lock_ops: vec![
-                    LockOp { lock: LockChoice::Dentry, hold: us(3), prob: 1.0 },
-                    LockOp { lock: LockChoice::Dentry, hold: us(3), prob: 0.8 },
-                    LockOp { lock: LockChoice::PageAlloc, hold: us(3), prob: 0.9 },
-                    LockOp { lock: LockChoice::PageReclaim, hold: us(3), prob: 0.3 },
-                    LockOp { lock: LockChoice::Runqueue, hold: us(3), prob: 0.8 },
+                    LockOp {
+                        lock: LockChoice::Dentry,
+                        hold: us(3),
+                        prob: 1.0,
+                    },
+                    LockOp {
+                        lock: LockChoice::Dentry,
+                        hold: us(3),
+                        prob: 0.8,
+                    },
+                    LockOp {
+                        lock: LockChoice::PageAlloc,
+                        hold: us(3),
+                        prob: 0.9,
+                    },
+                    LockOp {
+                        lock: LockChoice::PageReclaim,
+                        hold: us(3),
+                        prob: 0.3,
+                    },
+                    LockOp {
+                        lock: LockChoice::Runqueue,
+                        hold: us(3),
+                        prob: 0.8,
+                    },
                 ],
                 kernel_ops: vec![("do_fork", us(12), 0.9), ("vfs_write", us(6), 0.9)],
                 tlb_prob: 0.0,
@@ -128,10 +148,26 @@ impl Workload {
                 name: "gmake",
                 user_mean: us(60),
                 lock_ops: vec![
-                    LockOp { lock: LockChoice::Runqueue, hold: us(3), prob: 0.9 },
-                    LockOp { lock: LockChoice::PageAlloc, hold: us(4), prob: 0.9 },
-                    LockOp { lock: LockChoice::Dentry, hold: us(3), prob: 0.7 },
-                    LockOp { lock: LockChoice::PageReclaim, hold: us(4), prob: 0.2 },
+                    LockOp {
+                        lock: LockChoice::Runqueue,
+                        hold: us(3),
+                        prob: 0.9,
+                    },
+                    LockOp {
+                        lock: LockChoice::PageAlloc,
+                        hold: us(4),
+                        prob: 0.9,
+                    },
+                    LockOp {
+                        lock: LockChoice::Dentry,
+                        hold: us(3),
+                        prob: 0.7,
+                    },
+                    LockOp {
+                        lock: LockChoice::PageReclaim,
+                        hold: us(4),
+                        prob: 0.2,
+                    },
                 ],
                 kernel_ops: vec![("do_fork", us(10), 0.5), ("vfs_read", us(5), 0.6)],
                 tlb_prob: 0.0,
@@ -145,9 +181,21 @@ impl Workload {
                 name: "psearchy",
                 user_mean: us(80),
                 lock_ops: vec![
-                    LockOp { lock: LockChoice::Dentry, hold: us(5), prob: 0.9 },
-                    LockOp { lock: LockChoice::PageAlloc, hold: us(6), prob: 0.9 },
-                    LockOp { lock: LockChoice::PageReclaim, hold: us(4), prob: 0.4 },
+                    LockOp {
+                        lock: LockChoice::Dentry,
+                        hold: us(5),
+                        prob: 0.9,
+                    },
+                    LockOp {
+                        lock: LockChoice::PageAlloc,
+                        hold: us(6),
+                        prob: 0.9,
+                    },
+                    LockOp {
+                        lock: LockChoice::PageReclaim,
+                        hold: us(4),
+                        prob: 0.4,
+                    },
                 ],
                 kernel_ops: vec![("vfs_read", us(6), 0.8)],
                 tlb_prob: 0.0,
@@ -161,9 +209,21 @@ impl Workload {
                 name: "memclone",
                 user_mean: us(110),
                 lock_ops: vec![
-                    LockOp { lock: LockChoice::PageAlloc, hold: us(4), prob: 1.0 },
-                    LockOp { lock: LockChoice::PageAlloc, hold: us(3), prob: 0.8 },
-                    LockOp { lock: LockChoice::PageReclaim, hold: us(3), prob: 0.3 },
+                    LockOp {
+                        lock: LockChoice::PageAlloc,
+                        hold: us(4),
+                        prob: 1.0,
+                    },
+                    LockOp {
+                        lock: LockChoice::PageAlloc,
+                        hold: us(3),
+                        prob: 0.8,
+                    },
+                    LockOp {
+                        lock: LockChoice::PageReclaim,
+                        hold: us(3),
+                        prob: 0.3,
+                    },
                 ],
                 kernel_ops: vec![("sys_mmap", us(6), 1.0)],
                 // mmap-heavy: mostly page-allocator lock pressure plus a
@@ -254,11 +314,7 @@ impl Workload {
 
     /// Builds the program for the thread on `vcpu_idx` of a VM with
     /// `num_vcpus` vCPUs, with the default iteration budget.
-    pub fn program(
-        self,
-        vcpu_idx: u16,
-        num_vcpus: u16,
-    ) -> Box<dyn guest::segment::Program> {
+    pub fn program(self, vcpu_idx: u16, num_vcpus: u16) -> Box<dyn guest::segment::Program> {
         self.program_with_iters(vcpu_idx, num_vcpus, self.default_iters())
     }
 
@@ -280,7 +336,11 @@ impl Workload {
                 ],
             ));
         }
-        Box::new(ProfileProgram::new(self.profile(iters), vcpu_idx, num_vcpus))
+        Box::new(ProfileProgram::new(
+            self.profile(iters),
+            vcpu_idx,
+            num_vcpus,
+        ))
     }
 
     /// The Figure 8 "non-affected" workload set.
@@ -300,7 +360,7 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use guest::segment::{Program, Segment};
+    use guest::segment::Segment;
     use simcore::rng::SimRng;
 
     #[test]

@@ -125,10 +125,7 @@ impl ProfileProgram {
     fn lock_index(&self, choice: LockChoice, rng: &mut SimRng) -> (u16, &'static str) {
         match choice {
             LockChoice::PageAlloc => (self.layout.page_alloc(), "get_page_from_freelist"),
-            LockChoice::Dentry => (
-                self.layout.dentry(rng.below(4) as u16),
-                "__raw_spin_unlock",
-            ),
+            LockChoice::Dentry => (self.layout.dentry(rng.below(4) as u16), "__raw_spin_unlock"),
             LockChoice::Runqueue => {
                 // Mostly the local run queue; sometimes a sibling's.
                 let cpu = if rng.chance(0.7) {
@@ -194,7 +191,7 @@ impl ProfileProgram {
         });
         self.queue.push_back(Segment::WorkUnit);
         if let Some(every) = self.profile.block_every {
-            if self.done % every == 0 {
+            if self.done.is_multiple_of(every) {
                 self.queue.push_back(Segment::Sleep {
                     dur: rng.exp_duration(self.profile.sleep_mean),
                 });
@@ -259,7 +256,10 @@ mod tests {
         }
         // 3 iterations × (kernel + critical + user + workunit).
         assert_eq!(segments.len(), 12);
-        assert!(matches!(segments[0], Segment::Kernel { sym: "do_fork", .. }));
+        assert!(matches!(
+            segments[0],
+            Segment::Kernel { sym: "do_fork", .. }
+        ));
         assert!(matches!(segments[1], Segment::Critical { .. }));
         assert!(matches!(segments[2], Segment::User { .. }));
         assert_eq!(segments[3], Segment::WorkUnit);
@@ -335,7 +335,10 @@ mod tests {
             (LockChoice::PageAlloc, guest::kernel::LockKind::PageAlloc),
             (LockChoice::Dentry, guest::kernel::LockKind::Dentry),
             (LockChoice::Runqueue, guest::kernel::LockKind::Runqueue),
-            (LockChoice::PageReclaim, guest::kernel::LockKind::PageReclaim),
+            (
+                LockChoice::PageReclaim,
+                guest::kernel::LockKind::PageReclaim,
+            ),
         ] {
             for _ in 0..20 {
                 let (idx, sym) = p.lock_index(choice, &mut rng);
@@ -350,7 +353,9 @@ mod tests {
         let collect = || {
             let mut rng = SimRng::new(42);
             let mut p = ProfileProgram::new(demo_profile(), 0, 4);
-            (0..50).map(|_| p.next_segment(&mut rng)).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| p.next_segment(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(collect(), collect());
     }

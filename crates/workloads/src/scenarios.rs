@@ -7,8 +7,7 @@ use simcore::ids::PcpuId;
 
 /// Builds a VM running one thread of `workload` per vCPU.
 pub fn vm(workload: Workload, num_vcpus: u16) -> VmSpec {
-    VmSpec::new(workload.name(), num_vcpus)
-        .task_per_vcpu(move |v| workload.program(v, num_vcpus))
+    VmSpec::new(workload.name(), num_vcpus).task_per_vcpu(move |v| workload.program(v, num_vcpus))
 }
 
 /// Builds a VM with an explicit per-thread iteration budget.

@@ -22,7 +22,10 @@ fn solo_run(w: Workload) -> Machine {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
 fn solo_throughput_ranges() {
     // Units per second, solo, 12 vCPUs. Wide bands: these guard against
     // order-of-magnitude drift, not noise.
@@ -46,7 +49,10 @@ fn solo_throughput_ranges() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
 fn tlb_stressors_actually_shoot_down() {
     for (w, min_rate) in [(Workload::Dedup, 3_000), (Workload::Vips, 1_000)] {
         let m = solo_run(w);
@@ -63,7 +69,10 @@ fn tlb_stressors_actually_shoot_down() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
 fn lock_stressors_actually_contend() {
     for w in [Workload::Exim, Workload::Gmake, Workload::Memclone] {
         let m = solo_run(w);
@@ -74,13 +83,7 @@ fn lock_stressors_actually_contend() {
             .iter()
             .map(|l| l.acquisitions)
             .sum();
-        let contended: u64 = m
-            .vm(VmId(0))
-            .kernel
-            .locks
-            .iter()
-            .map(|l| l.contended)
-            .sum();
+        let contended: u64 = m.vm(VmId(0)).kernel.locks.iter().map(|l| l.contended).sum();
         assert!(
             total_acquisitions > 50_000,
             "{}: only {total_acquisitions} acquisitions/s",
@@ -96,7 +99,10 @@ fn lock_stressors_actually_contend() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
 fn compute_workloads_stay_out_of_the_kernel() {
     for w in Workload::figure8_set() {
         let m = solo_run(w);
@@ -110,7 +116,10 @@ fn compute_workloads_stay_out_of_the_kernel() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
 fn solo_executions_fit_the_experiment_horizon() {
     // Every finite workload must finish its default budget comfortably
     // within the experiment horizon even at a 2:1 consolidation slowdown
@@ -137,7 +146,10 @@ fn solo_executions_fit_the_experiment_horizon() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
 fn solo_kernel_time_shares_match_characterization() {
     // exim is kernel-heavy; swaptions is pure user. Yield profiles show
     // it: exim solo still yields occasionally (locks), swaptions never.
@@ -149,7 +161,10 @@ fn solo_kernel_time_shares_match_characterization() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
 fn iperf_solo_is_near_line_rate() {
     let (cfg, specs) = scenarios::iperf_solo(true);
     let mut m = Machine::new(cfg.with_seed(5), specs, Box::new(BaselinePolicy));

@@ -10,8 +10,8 @@
 //! packets wait out entire co-runner slices — until the micro-sliced pool
 //! accelerates the vIRQ recipient.
 
-use hypervisor::{BaselinePolicy, Machine};
 use hypervisor::policy::SchedPolicy;
+use hypervisor::{BaselinePolicy, Machine};
 use microslice::MicroslicePolicy;
 use simcore::ids::VmId;
 use simcore::time::SimTime;
@@ -39,7 +39,11 @@ fn main() {
     println!("Mixed-behaviour vCPU I/O (two pinned single-vCPU VMs)\n");
     for tcp in [true, false] {
         run(Box::new(BaselinePolicy), "baseline", tcp);
-        run(Box::new(MicroslicePolicy::fixed(1)), "one micro-sliced core", tcp);
+        run(
+            Box::new(MicroslicePolicy::fixed(1)),
+            "one micro-sliced core",
+            tcp,
+        );
         println!();
     }
     println!("The baseline's jitter is dominated by 30 ms co-runner slices;");

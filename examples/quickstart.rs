@@ -10,8 +10,8 @@
 //! once under the baseline credit scheduler and once with one
 //! micro-sliced core accelerating preempted critical OS services.
 
-use hypervisor::{BaselinePolicy, Machine, MachineConfig, VmSpec};
 use hypervisor::policy::SchedPolicy;
+use hypervisor::{BaselinePolicy, Machine, MachineConfig, VmSpec};
 use microslice::MicroslicePolicy;
 use simcore::ids::VmId;
 use simcore::time::SimTime;

@@ -62,9 +62,6 @@ fn main() {
         .collect();
     sites.sort_by_key(|&(_, c)| core::cmp::Reverse(c));
     for (site, count) in sites {
-        println!(
-            "  {count:>8}  {site:<34} {:?}",
-            whitelist.class_of(site)
-        );
+        println!("  {count:>8}  {site:<34} {:?}", whitelist.class_of(site));
     }
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the hot-path micro-benchmarks and appends one JSON line per
+# benchmark to BENCH_hotpaths.json (override with BENCH_JSON).
+#
+# Usage:
+#   scripts/bench.sh                  # run everything, label "current"
+#   BENCH_LABEL=mybranch scripts/bench.sh event_queue
+#
+# Each line is {"name", "mean_ns", "min_ns", "samples", "label"}; the
+# checked-in file keeps a "seed" baseline so regressions are diffable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export BENCH_JSON="${BENCH_JSON:-BENCH_hotpaths.json}"
+export BENCH_LABEL="${BENCH_LABEL:-current}"
+export BENCH_MEASURE_SECS="${BENCH_MEASURE_SECS:-3}"
+
+cargo bench -p bench --bench hotpaths -- "$@"
+echo "appended results to ${BENCH_JSON} (label: ${BENCH_LABEL})"

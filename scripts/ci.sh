@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The repo's CI gate: formatting, lints, tier-1 tests, and a parallel
+# quick reproduction of every experiment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt check ==" >&2
+cargo fmt --all --check
+
+echo "== clippy (deny warnings) ==" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) ==" >&2
+cargo build --release
+
+echo "== tests ==" >&2
+cargo test -q
+
+echo "== repro all --quick --jobs 2 ==" >&2
+cargo run --release -p experiments --bin repro -- --quick --jobs 2 all > /dev/null
+
+echo "CI OK" >&2

@@ -1,5 +1,6 @@
 //! Reproducibility: identical seeds must give bit-identical simulations,
-//! different seeds must actually differ.
+//! different seeds must actually differ, and the parallel fan-out must
+//! render exactly the bytes the serial path renders.
 
 use experiments::runner::{build, PolicyKind, RunOptions};
 use simcore::ids::VmId;
@@ -7,7 +8,11 @@ use simcore::time::SimTime;
 use workloads::{scenarios, Workload};
 
 fn fingerprint(seed: u64, policy: PolicyKind) -> (u64, u64, u64, u64, String) {
-    let opts = RunOptions { quick: true, seed };
+    let opts = RunOptions {
+        quick: true,
+        seed,
+        ..Default::default()
+    };
     let (cfg, _) = scenarios::corun(Workload::Exim);
     let n = cfg.num_pcpus;
     let specs = vec![
@@ -57,4 +62,39 @@ fn policy_changes_the_trace() {
     let base = fingerprint(7, PolicyKind::Baseline);
     let fast = fingerprint(7, PolicyKind::Fixed(1));
     assert_ne!(base, fast, "the policy had no observable effect");
+}
+
+/// Renders one experiment to its CSV bytes under a given job count.
+fn render(id: &str, jobs: usize) -> String {
+    let opts = RunOptions::quick().with_jobs(jobs);
+    experiments::run_experiment(id, &opts)
+        .unwrap_or_else(|| panic!("unknown experiment {id}"))
+        .iter()
+        .map(|t| t.render_csv())
+        .collect()
+}
+
+/// A cheap always-on guard: the fastest experiment must render the same
+/// bytes under serial and parallel fan-out.
+#[test]
+fn parallel_jobs_byte_identical_fig9() {
+    let serial = render("fig9", 1);
+    assert_eq!(serial, render("fig9", 2), "fig9: --jobs 2 diverged");
+    assert_eq!(serial, render("fig9", 7), "fig9: --jobs 7 diverged");
+}
+
+/// The full contract from the issue: every experiment, quick mode, must
+/// be byte-identical between `--jobs 1` and `--jobs N`. Slow under debug
+/// builds, so release-gated like the other whole-suite tests.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
+fn parallel_jobs_byte_identical_all_experiments() {
+    for id in experiments::ALL_EXPERIMENTS {
+        let serial = render(id, 1);
+        let parallel = render(id, 4);
+        assert_eq!(serial, parallel, "{id}: --jobs 4 diverged from --jobs 1");
+    }
 }

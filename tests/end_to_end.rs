@@ -26,7 +26,11 @@ fn every_workload_pair_completes_or_progresses() {
         Workload::Bzip2,
     ];
     for w in all {
-        for policy in [PolicyKind::Baseline, PolicyKind::Fixed(2), PolicyKind::Adaptive] {
+        for policy in [
+            PolicyKind::Baseline,
+            PolicyKind::Fixed(2),
+            PolicyKind::Adaptive,
+        ] {
             let (cfg, _) = scenarios::corun(w);
             let n = cfg.num_pcpus;
             let specs = vec![
@@ -83,7 +87,10 @@ fn micro_pool_never_retains_vcpus_after_calm() {
     ];
     let mut m = build(&opts(), (cfg, specs), PolicyKind::Fixed(2));
     assert!(m.run_until_all_finished(SimTime::from_secs(60)));
-    assert!(m.stats.counters.get("micro_migrations") > 0, "policy never engaged");
+    assert!(
+        m.stats.counters.get("micro_migrations") > 0,
+        "policy never engaged"
+    );
     for vm in 0..2u16 {
         for v in m.siblings(VmId(vm)) {
             assert_eq!(
@@ -103,7 +110,12 @@ fn lock_statistics_are_consistent() {
         scenarios::vm_with_iters(Workload::Exim, n, None),
         scenarios::vm_with_iters(Workload::Swaptions, n, None),
     ];
-    let m = run_window(&opts(), (cfg, specs), PolicyKind::Baseline, SimDuration::from_secs(1));
+    let m = run_window(
+        &opts(),
+        (cfg, specs),
+        PolicyKind::Baseline,
+        SimDuration::from_secs(1),
+    );
     let kernel = &m.vm(VmId(0)).kernel;
     // Every lock ends the run free or held by a live vCPU; acquisition
     // counters are self-consistent.

@@ -11,7 +11,10 @@ fn opts() -> RunOptions {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
 fn lock_bound_pair_improves_with_one_micro_core() {
     // memclone (Figure 4, left half): a single micro-sliced core must
     // shorten the target's execution time substantially. (gmake shows
@@ -27,7 +30,10 @@ fn lock_bound_pair_improves_with_one_micro_core() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow under debug; run with cargo test --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
 fn tlb_bound_pairs_prefer_multiple_micro_cores() {
     // dedup (Figure 4, right half): the one-to-many TLB synchronization
     // wants 2–3 micro cores; more cores must not beat the 2–3 sweet spot
