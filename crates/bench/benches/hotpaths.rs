@@ -74,7 +74,7 @@ fn bench_parallel_fanout(c: &mut Criterion) {
                 scenarios::vm_with_iters(w, n, None),
                 scenarios::vm_with_iters(Workload::Swaptions, n, None),
             ];
-            let m = run_window(&opts, (cfg, specs), policy, window);
+            let m = run_window(&opts, (cfg, specs), policy, window).unwrap();
             m.stats.counters.total()
         });
         totals.iter().sum::<u64>()
@@ -156,14 +156,14 @@ fn bench_sim_second(c: &mut Criterion) {
     c.bench_function("simulate_one_second_baseline", |b| {
         b.iter(|| {
             let mut m = build(false);
-            m.run_until(SimTime::from_secs(1));
+            m.run_until(SimTime::from_secs(1)).unwrap();
             std::hint::black_box(m.stats.counters.total())
         })
     });
     c.bench_function("simulate_one_second_microslice", |b| {
         b.iter(|| {
             let mut m = build(true);
-            m.run_until(SimTime::from_secs(1));
+            m.run_until(SimTime::from_secs(1)).unwrap();
             std::hint::black_box(m.stats.counters.total())
         })
     });

@@ -207,7 +207,7 @@ mod tests {
         let (cfg, specs) = scenarios::fig9_mixed_pinned(true);
         let mut m = Machine::new(cfg, specs, Box::new(VTurboPolicy::new()));
         assert_eq!(m.micro_cores(), 1);
-        m.run_until(SimTime::from_secs(1));
+        m.run_until(SimTime::from_secs(1)).unwrap();
         assert!(
             m.stats.counters.get("micro_migrations") > 100,
             "vTurbo should route I/O through the turbo core"
@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn vturbo_ignores_lock_pathology() {
         let mut m = corun(Workload::Exim, Box::new(VTurboPolicy::new()));
-        m.run_until(SimTime::from_millis(800));
+        m.run_until(SimTime::from_millis(800)).unwrap();
         // The pool exists but no lock-driven migrations happen: every
         // migration must have come from vIRQ routing, and exim has none.
         assert_eq!(m.stats.counters.get("micro_migrations"), 0);
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn vtrs_classifies_busy_vcpus_and_pins_them() {
         let mut m = corun(Workload::Dedup, Box::new(VtrsPolicy::default()));
-        m.run_until(SimTime::from_secs(1));
+        m.run_until(SimTime::from_secs(1)).unwrap();
         // Some dedup vCPUs yield constantly and get classified; sticky
         // residents should exist in the micro pool at some point.
         let migrated = m.stats.counters.get("micro_migrations");

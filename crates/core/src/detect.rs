@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn classify_reads_real_ips() {
         let mut m = contended_machine();
-        m.run_until(SimTime::from_millis(200));
+        m.run_until(SimTime::from_millis(200)).unwrap();
         let engine = DetectionEngine::new();
         // Some locker vCPU must classify as critical-section or spin-wait
         // at some observation point.
@@ -193,7 +193,7 @@ mod tests {
         let engine = DetectionEngine::new();
         let mut found = false;
         for step in 1..40_000u64 {
-            m.run_until(SimTime::from_micros(step * 50));
+            m.run_until(SimTime::from_micros(step * 50)).unwrap();
             if !engine.preempted_critical_siblings(&m, VmId(0)).is_empty() {
                 found = true;
                 break;
@@ -209,7 +209,7 @@ mod tests {
         // Observe at several points; the warm engine's memo must never
         // diverge from a throwaway engine classifying from scratch.
         for step in 1..=20u64 {
-            m.run_until(SimTime::from_millis(step * 5));
+            m.run_until(SimTime::from_millis(step * 5)).unwrap();
             for vm in [VmId(0), VmId(1)] {
                 for v in m.siblings(vm) {
                     let fresh = DetectionEngine::new();
@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn empty_whitelist_detects_nothing() {
         let mut m = contended_machine();
-        m.run_until(SimTime::from_millis(100));
+        m.run_until(SimTime::from_millis(100)).unwrap();
         let engine = DetectionEngine::with_whitelist(Whitelist::empty());
         for v in m.siblings(VmId(0)) {
             assert_eq!(engine.classify(&m, v), CriticalClass::NotCritical);
@@ -235,7 +235,7 @@ mod tests {
     #[test]
     fn ack_owers_are_preempted_subset() {
         let mut m = contended_machine();
-        m.run_until(SimTime::from_millis(50));
+        m.run_until(SimTime::from_millis(50)).unwrap();
         let engine = DetectionEngine::new();
         for v in engine.preempted_ack_owers(&m, VmId(0)) {
             assert!(m.vcpu(v).is_preempted());

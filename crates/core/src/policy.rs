@@ -253,7 +253,7 @@ mod tests {
         );
         assert_eq!(m.micro_cores(), 1);
         assert_eq!(m.normal_cores(), 11);
-        m.run_until(SimTime::from_secs(2));
+        m.run_until(SimTime::from_secs(2)).unwrap();
         assert!(
             m.stats.counters.get("micro_migrations") > 0,
             "contention should trigger accelerations"
@@ -268,7 +268,7 @@ mod tests {
         let run = |policy: Box<dyn SchedPolicy>| {
             let specs = vec![locker_spec(12), VmSpec::new("hog", 12).task_per_vcpu(hog)];
             let mut m = Machine::new(MachineConfig::small(12).with_seed(3), specs, policy);
-            m.run_until(SimTime::from_secs(2));
+            m.run_until(SimTime::from_secs(2)).unwrap();
             let waits = m
                 .vm(VmId(0))
                 .kernel
@@ -300,7 +300,7 @@ mod tests {
             specs,
             Box::new(MicroslicePolicy::adaptive(AdaptiveConfig::default())),
         );
-        m.run_until(SimTime::from_secs(3));
+        m.run_until(SimTime::from_secs(3)).unwrap();
         assert_eq!(m.micro_cores(), 0, "no contention, no reserved cores");
         assert_eq!(m.stats.counters.get("micro_migrations"), 0);
     }
@@ -316,7 +316,7 @@ mod tests {
                 ..AdaptiveConfig::default()
             })),
         );
-        m.run_until(SimTime::from_secs(3));
+        m.run_until(SimTime::from_secs(3)).unwrap();
         assert!(
             m.stats.counters.get("micro_migrations") > 0,
             "adaptive policy never accelerated anything"
@@ -364,7 +364,7 @@ mod tests {
                 specs,
                 Box::new(policy),
             );
-            m.run_until(SimTime::from_secs(1));
+            m.run_until(SimTime::from_secs(1)).unwrap();
             m.stats.per_vm[1].micro_migrations + m.stats.per_vm[0].micro_migrations
         };
         let with = run(true);

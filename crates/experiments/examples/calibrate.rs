@@ -35,7 +35,7 @@ fn main() {
         let mut base = 1.0;
         let mut cobase = 1.0;
         for p in configs {
-            let c = fig4::run_one(&opts, w, p);
+            let c = fig4::run_one(&opts, w, p).unwrap();
             if p == PolicyKind::Baseline {
                 base = c.target_secs;
                 cobase = c.corunner_rate;
@@ -57,7 +57,7 @@ fn main() {
         let mut base = 1.0;
         let mut cobase = 1.0;
         for p in configs {
-            let c = fig5::run_one(&opts, w, p);
+            let c = fig5::run_one(&opts, w, p).unwrap();
             if p == PolicyKind::Baseline {
                 base = c.throughput;
                 cobase = c.corunner_rate;

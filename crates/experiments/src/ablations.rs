@@ -11,7 +11,10 @@
 //!   0.1 ms slice (no precise selection), which the paper's Table 1
 //!   criticizes for hurting cache-sensitive user work.
 
-use crate::runner::{build, parallel, PolicyKind, RunOptions};
+use crate::runner::{
+    build, build_with, err_row, finish_time, run_cells, CellFailure, CellResult, PolicyKind,
+    RunOptions,
+};
 use hypervisor::{MachineConfig, VmSpec};
 use metrics::render::Table;
 use microslice::{DetectionEngine, MicroslicePolicy};
@@ -25,7 +28,7 @@ fn exim_rate(
     opts: &RunOptions,
     mutate: impl FnOnce(&mut MachineConfig),
     policy: PolicyKind,
-) -> f64 {
+) -> CellResult<f64> {
     let mut cfg = MachineConfig::paper_testbed();
     mutate(&mut cfg);
     let n = cfg.num_pcpus;
@@ -35,29 +38,43 @@ fn exim_rate(
     ];
     let window = opts.window(SimDuration::from_secs(3));
     let mut m = build(opts, (cfg, specs), policy);
-    m.run_until(SimTime::ZERO + window);
-    m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64()
+    m.run_until(SimTime::ZERO + window)
+        .map_err(CellFailure::Sim)?;
+    Ok(m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64())
 }
 
 /// Micro-slice length sweep (50 µs – 1 ms) on the exim pair.
 pub fn run_slice_sweep(opts: &RunOptions) -> Vec<Table> {
     const SLICES_US: [u64; 5] = [50, 100, 200, 500, 1_000];
-    let rates: Vec<f64> = parallel::map(opts.jobs, &SLICES_US, |&us| {
-        exim_rate(
-            opts,
-            |cfg| cfg.micro_slice = SimDuration::from_micros(us),
-            PolicyKind::Fixed(1),
-        )
-    });
-    let hundred = rates[1];
+    let rates = run_cells(
+        opts,
+        SLICES_US.len(),
+        |i| format!("ablation-slice[{}us, seed {:#x}]", SLICES_US[i], opts.seed),
+        |i| {
+            exim_rate(
+                opts,
+                |cfg| cfg.micro_slice = SimDuration::from_micros(SLICES_US[i]),
+                PolicyKind::Fixed(1),
+            )
+        },
+    );
+    let hundred = rates[1].as_ref().ok().copied();
     let mut t = Table::new(vec!["micro slice", "exim units/s", "vs 100us"])
         .with_title("Ablation: micro-slice length (exim + swaptions, 1 micro core)");
     for (us, rate) in SLICES_US.iter().zip(&rates) {
-        t.row(vec![
-            format!("{us} us"),
-            format!("{rate:.0}"),
-            format!("{:.2}", rate / hundred),
-        ]);
+        match (rate, hundred) {
+            (Ok(rate), Some(hundred)) => t.row(vec![
+                format!("{us} us"),
+                format!("{rate:.0}"),
+                format!("{:.2}", rate / hundred),
+            ]),
+            (Ok(rate), None) => t.row(vec![
+                format!("{us} us"),
+                format!("{rate:.0}"),
+                "ERR".to_string(),
+            ]),
+            (Err(_), _) => t.row(err_row(format!("{us} us"), 2)),
+        }
     }
     vec![t]
 }
@@ -67,25 +84,38 @@ pub fn run_runq_cap(opts: &RunOptions) -> Vec<Table> {
     let mut t = Table::new(vec!["micro runq cap", "dedup exec (s)"])
         .with_title("Ablation: micro-pool run-queue cap (dedup + swaptions, 3 micro cores)");
     const CAPS: [usize; 4] = [1, 2, 4, 16];
-    let times = parallel::map(opts.jobs, &CAPS, |&cap| {
-        let mut cfg = MachineConfig::paper_testbed();
-        cfg.micro_runq_cap = cap;
-        let n = cfg.num_pcpus;
-        let iters = opts.iters(Workload::Dedup.default_iters().unwrap());
-        let specs = vec![
-            scenarios::vm_with_iters(Workload::Dedup, n, Some(iters)),
-            scenarios::vm_with_iters(Workload::Swaptions, n, None),
-        ];
-        let mut m = build(opts, (cfg, specs), PolicyKind::Fixed(3));
-        m.run_until_vm_finished(VmId(0), opts.horizon())
-            .expect("dedup finishes")
-            .as_secs_f64()
-    });
+    let times = run_cells(
+        opts,
+        CAPS.len(),
+        |i| format!("ablation-runqcap[cap {}, seed {:#x}]", CAPS[i], opts.seed),
+        |i| {
+            let mut cfg = MachineConfig::paper_testbed();
+            cfg.micro_runq_cap = CAPS[i];
+            let n = cfg.num_pcpus;
+            let iters = opts.iters(Workload::Dedup.default_iters().unwrap());
+            let specs = vec![
+                scenarios::vm_with_iters(Workload::Dedup, n, Some(iters)),
+                scenarios::vm_with_iters(Workload::Swaptions, n, None),
+            ];
+            let mut m = build(opts, (cfg, specs), PolicyKind::Fixed(3));
+            let end = finish_time(m.run_until_vm_finished(VmId(0), opts.horizon()))?;
+            Ok(end.as_secs_f64())
+        },
+    );
     for (cap, secs) in CAPS.iter().zip(&times) {
-        t.row(vec![cap.to_string(), format!("{secs:.2}")]);
+        match secs {
+            Ok(secs) => t.row(vec![cap.to_string(), format!("{secs:.2}")]),
+            Err(_) => t.row(err_row(cap.to_string(), 1)),
+        }
     }
     vec![t]
 }
+
+const DETECTION_LABELS: [&str; 3] = [
+    "baseline (no pool)",
+    "pool + detection",
+    "pool, detection off",
+];
 
 /// Detection-off ablation: reserve a core but never accelerate anything.
 pub fn run_detection_off(opts: &RunOptions) -> Vec<Table> {
@@ -94,37 +124,50 @@ pub fn run_detection_off(opts: &RunOptions) -> Vec<Table> {
     let window = opts.window(SimDuration::from_secs(3));
     // Policies are constructed inside the worker (dispatched by index) so
     // no trait object needs to cross threads.
-    let rates = parallel::run_indexed(opts.jobs, 3, |i| {
-        let policy: Box<dyn hypervisor::policy::SchedPolicy> = match i {
-            0 => Box::new(hypervisor::BaselinePolicy),
-            1 => Box::new(MicroslicePolicy::fixed(1)),
-            _ => Box::new(
-                MicroslicePolicy::fixed(1)
-                    .with_detection(DetectionEngine::with_whitelist(ksym::Whitelist::empty())),
-            ),
-        };
-        let mut cfg = MachineConfig::paper_testbed();
-        let n = cfg.num_pcpus;
-        let specs = vec![
-            scenarios::vm_with_iters(Workload::Exim, n, None),
-            scenarios::vm_with_iters(Workload::Swaptions, n, None),
-        ];
-        cfg.seed = opts.seed;
-        let mut m = hypervisor::Machine::new(cfg, specs, policy);
-        m.run_until(SimTime::ZERO + window);
-        m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64()
-    });
-    t.row(vec![
-        "baseline (no pool)".into(),
-        format!("{:.0}", rates[0]),
-    ]);
-    t.row(vec!["pool + detection".into(), format!("{:.0}", rates[1])]);
-    t.row(vec![
-        "pool, detection off".into(),
-        format!("{:.0}", rates[2]),
-    ]);
+    let rates = run_cells(
+        opts,
+        3,
+        |i| {
+            format!(
+                "ablation-detection[{}, seed {:#x}]",
+                DETECTION_LABELS[i], opts.seed
+            )
+        },
+        |i| {
+            let policy: Box<dyn hypervisor::policy::SchedPolicy> = match i {
+                0 => Box::new(hypervisor::BaselinePolicy),
+                1 => Box::new(MicroslicePolicy::fixed(1)),
+                _ => Box::new(
+                    MicroslicePolicy::fixed(1)
+                        .with_detection(DetectionEngine::with_whitelist(ksym::Whitelist::empty())),
+                ),
+            };
+            let cfg = MachineConfig::paper_testbed();
+            let n = cfg.num_pcpus;
+            let specs = vec![
+                scenarios::vm_with_iters(Workload::Exim, n, None),
+                scenarios::vm_with_iters(Workload::Swaptions, n, None),
+            ];
+            let mut m = build_with(opts, (cfg, specs), policy);
+            m.run_until(SimTime::ZERO + window)
+                .map_err(CellFailure::Sim)?;
+            Ok(m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64())
+        },
+    );
+    for (label, rate) in DETECTION_LABELS.iter().zip(&rates) {
+        match rate {
+            Ok(rate) => t.row(vec![label.to_string(), format!("{rate:.0}")]),
+            Err(_) => t.row(err_row(label.to_string(), 1)),
+        }
+    }
     vec![t]
 }
+
+const USLICED_LABELS: [&str; 3] = [
+    "baseline (30ms)",
+    "flexible micro-sliced (ours)",
+    "fixed micro-sliced (all cores 0.1ms)",
+];
 
 /// Fixed-µsliced comparator: every core runs 0.1 ms slices (no pools, no
 /// selection) — the `[2]`-style baseline of Table 1.
@@ -132,45 +175,50 @@ pub fn run_fixed_usliced(opts: &RunOptions) -> Vec<Table> {
     let mut t = Table::new(vec!["scheme", "exim units/s", "swaptions units/s"])
         .with_title("Ablation: precise selection vs micro-slicing every core");
     let window = opts.window(SimDuration::from_secs(3));
-    let cells = parallel::run_indexed(opts.jobs, 3, |i| {
-        let mut cfg = MachineConfig::paper_testbed();
-        let policy = match i {
-            0 => PolicyKind::Baseline,
-            1 => PolicyKind::Fixed(1),
-            _ => {
-                cfg.normal_slice = SimDuration::from_micros(100);
-                PolicyKind::Baseline
-            }
-        };
-        let n = cfg.num_pcpus;
-        let specs = vec![
-            scenarios::vm_with_iters(Workload::Exim, n, None),
-            scenarios::vm_with_iters(Workload::Swaptions, n, None),
-        ];
-        let mut m = build(opts, (cfg, specs), policy);
-        m.run_until(SimTime::ZERO + window);
-        let secs = window.as_secs_f64();
-        (
-            m.vm_work_done(VmId(0)) as f64 / secs,
-            m.vm_work_done(VmId(1)) as f64 / secs,
-        )
-    });
-    let [(be, bs), (me, ms), (fe, fs)] = [cells[0], cells[1], cells[2]];
-    t.row(vec![
-        "baseline (30ms)".into(),
-        format!("{be:.0}"),
-        format!("{bs:.0}"),
-    ]);
-    t.row(vec![
-        "flexible micro-sliced (ours)".into(),
-        format!("{me:.0}"),
-        format!("{ms:.0}"),
-    ]);
-    t.row(vec![
-        "fixed micro-sliced (all cores 0.1ms)".into(),
-        format!("{fe:.0}"),
-        format!("{fs:.0}"),
-    ]);
+    let cells = run_cells(
+        opts,
+        3,
+        |i| {
+            format!(
+                "ablation-usliced[{}, seed {:#x}]",
+                USLICED_LABELS[i], opts.seed
+            )
+        },
+        |i| {
+            let mut cfg = MachineConfig::paper_testbed();
+            let policy = match i {
+                0 => PolicyKind::Baseline,
+                1 => PolicyKind::Fixed(1),
+                _ => {
+                    cfg.normal_slice = SimDuration::from_micros(100);
+                    PolicyKind::Baseline
+                }
+            };
+            let n = cfg.num_pcpus;
+            let specs = vec![
+                scenarios::vm_with_iters(Workload::Exim, n, None),
+                scenarios::vm_with_iters(Workload::Swaptions, n, None),
+            ];
+            let mut m = build(opts, (cfg, specs), policy);
+            m.run_until(SimTime::ZERO + window)
+                .map_err(CellFailure::Sim)?;
+            let secs = window.as_secs_f64();
+            Ok((
+                m.vm_work_done(VmId(0)) as f64 / secs,
+                m.vm_work_done(VmId(1)) as f64 / secs,
+            ))
+        },
+    );
+    for (label, cell) in USLICED_LABELS.iter().zip(&cells) {
+        match cell {
+            Ok((exim, swapt)) => t.row(vec![
+                label.to_string(),
+                format!("{exim:.0}"),
+                format!("{swapt:.0}"),
+            ]),
+            Err(_) => t.row(err_row(label.to_string(), 2)),
+        }
+    }
     vec![t]
 }
 

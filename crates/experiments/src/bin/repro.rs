@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures from the simulator.
 //!
 //! ```text
-//! repro [--quick] [--csv] [--seed N] [--jobs N] <experiment>...
+//! repro [--quick] [--csv] [--seed N] [--jobs N] [--faults SPEC]
+//!       [--keep-going] [--paranoid] <experiment>...
 //! repro all
 //! repro list
 //! ```
@@ -9,12 +10,23 @@
 //! `--jobs N` fans independent runs across N worker threads (default:
 //! available parallelism). Output is byte-identical for every N;
 //! `--jobs 1` also reproduces the serial execution order exactly.
+//!
+//! `--faults SPEC` injects a deterministic fault plan into every run
+//! (SPEC like `seed=7,count=40` — see `hypervisor::FaultSpec`).
+//! `--keep-going` renders failed grid cells as `ERR` instead of aborting;
+//! without it a failing cell aborts after the grid completes, naming the
+//! (scenario, policy, seed) cell. `--paranoid` re-checks the machine
+//! invariants on every accounting tick.
 
 use experiments::{run_experiment, RunOptions, ALL_EXPERIMENTS};
+use hypervisor::FaultSpec;
 use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--quick] [--csv] [--seed N] [--jobs N] <experiment>... | all | list");
+    eprintln!(
+        "usage: repro [--quick] [--csv] [--seed N] [--jobs N] [--faults SPEC] \
+         [--keep-going] [--paranoid] <experiment>... | all | list"
+    );
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
 }
@@ -43,6 +55,18 @@ fn main() {
                 let jobs: usize = v.parse().unwrap_or_else(|_| usage());
                 opts = opts.with_jobs(jobs);
             }
+            "--faults" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match FaultSpec::parse(&v) {
+                    Ok(spec) => opts.faults = Some(spec),
+                    Err(e) => {
+                        eprintln!("bad --faults spec {v:?}: {e}");
+                        usage();
+                    }
+                }
+            }
+            "--keep-going" => opts.keep_going = true,
+            "--paranoid" => opts.paranoid = true,
             "list" => {
                 for id in ALL_EXPERIMENTS {
                     println!("{id}");

@@ -24,115 +24,183 @@ pub struct ShapeResult {
     pub pass: bool,
 }
 
+/// A shape check whose underlying experiment cell failed: the failure is
+/// reported in the `measured` column and the shape counts as not held.
+fn err_shape(
+    artifact: &'static str,
+    description: &'static str,
+    paper: &str,
+    failure: impl core::fmt::Display,
+) -> ShapeResult {
+    ShapeResult {
+        artifact,
+        description,
+        paper: paper.into(),
+        measured: format!("ERR ({failure})"),
+        pass: false,
+    }
+}
+
 /// Runs every shape check.
 pub fn measure(opts: &RunOptions) -> Vec<ShapeResult> {
     let mut out = Vec::new();
 
     // Table 2: consolidation inflates yields by orders of magnitude.
-    let t2 = table2::measure(opts);
-    let min_ratio = t2
-        .iter()
-        .map(|r| r.corun as f64 / r.solo.max(1) as f64)
-        .fold(f64::INFINITY, f64::min);
-    out.push(ShapeResult {
-        artifact: "Table 2",
-        description: "co-run yields >> solo yields for every workload",
-        paper: "89x - 3717x".into(),
-        measured: format!("min ratio {min_ratio:.0}x"),
-        pass: min_ratio > 3.0,
+    const T2_PAPER: &str = "89x - 3717x";
+    let t2: Result<Vec<_>, _> = table2::measure(opts).into_iter().collect();
+    out.push(match t2 {
+        Ok(rows) => {
+            let min_ratio = rows
+                .iter()
+                .map(|r| r.corun as f64 / r.solo.max(1) as f64)
+                .fold(f64::INFINITY, f64::min);
+            ShapeResult {
+                artifact: "Table 2",
+                description: "co-run yields >> solo yields for every workload",
+                paper: T2_PAPER.into(),
+                measured: format!("min ratio {min_ratio:.0}x"),
+                pass: min_ratio > 3.0,
+            }
+        }
+        Err(e) => err_shape(
+            "Table 2",
+            "co-run yields >> solo yields for every workload",
+            T2_PAPER,
+            e,
+        ),
     });
 
     // Table 4a: hot-lock waits inflate under co-run.
-    let t4a = table4::measure_4a(opts);
-    let hot = t4a
-        .iter()
-        .map(|&(_, solo, corun)| corun / solo.max(0.01))
-        .fold(0.0, f64::max);
-    out.push(ShapeResult {
-        artifact: "Table 4a",
-        description: "hot spinlock waits inflate under co-run",
-        paper: "up to ~440x (dentry 2.9us -> 1.3ms)".into(),
-        measured: format!("max inflation {hot:.0}x"),
-        pass: hot > 10.0,
+    const T4A_PAPER: &str = "up to ~440x (dentry 2.9us -> 1.3ms)";
+    out.push(match table4::measure_4a(opts) {
+        Ok(t4a) => {
+            let hot = t4a
+                .iter()
+                .map(|&(_, solo, corun)| corun / solo.max(0.01))
+                .fold(0.0, f64::max);
+            ShapeResult {
+                artifact: "Table 4a",
+                description: "hot spinlock waits inflate under co-run",
+                paper: T4A_PAPER.into(),
+                measured: format!("max inflation {hot:.0}x"),
+                pass: hot > 10.0,
+            }
+        }
+        Err(e) => err_shape(
+            "Table 4a",
+            "hot spinlock waits inflate under co-run",
+            T4A_PAPER,
+            e,
+        ),
     });
 
     // Table 4b: TLB sync goes us -> ms.
+    const T4B_PAPER: &str = "28us -> 6354us";
+    const T4B_DESC: &str = "dedup TLB sync: microseconds solo, milliseconds co-run";
     let t4b = table4::measure_4b(opts);
-    let (_, _, dedup_solo, _, _) = t4b[0];
-    let (_, _, dedup_corun, _, _) = t4b[1];
-    out.push(ShapeResult {
-        artifact: "Table 4b",
-        description: "dedup TLB sync: microseconds solo, milliseconds co-run",
-        paper: "28us -> 6354us".into(),
-        measured: format!("{dedup_solo:.0}us -> {dedup_corun:.0}us"),
-        pass: dedup_solo < 100.0 && dedup_corun > 1_000.0,
+    out.push(match (&t4b[0], &t4b[1]) {
+        (Ok((_, _, dedup_solo, _, _)), Ok((_, _, dedup_corun, _, _))) => ShapeResult {
+            artifact: "Table 4b",
+            description: T4B_DESC,
+            paper: T4B_PAPER.into(),
+            measured: format!("{dedup_solo:.0}us -> {dedup_corun:.0}us"),
+            pass: *dedup_solo < 100.0 && *dedup_corun > 1_000.0,
+        },
+        (Err(e), _) | (_, Err(e)) => err_shape("Table 4b", T4B_DESC, T4B_PAPER, e),
     });
 
     // Table 4c: mixed co-run kills jitter and throughput.
+    const T4C_PAPER: &str = "0.0043ms/936Mbps -> 9.25ms/436Mbps";
+    const T4C_DESC: &str = "mixed co-run: ms jitter, big throughput loss";
     let t4c = table4::measure_4c(opts);
-    let (_, solo_j, solo_t) = t4c[0];
-    let (_, mix_j, mix_t) = t4c[1];
-    out.push(ShapeResult {
-        artifact: "Table 4c",
-        description: "mixed co-run: ms jitter, big throughput loss",
-        paper: "0.0043ms/936Mbps -> 9.25ms/436Mbps".into(),
-        measured: format!("{solo_j:.4}ms/{solo_t:.0}Mbps -> {mix_j:.2}ms/{mix_t:.0}Mbps"),
-        pass: solo_j < 0.1 && mix_j > 2.0 && mix_t < solo_t * 0.75,
+    out.push(match (&t4c[0], &t4c[1]) {
+        (Ok((_, solo_j, solo_t)), Ok((_, mix_j, mix_t))) => ShapeResult {
+            artifact: "Table 4c",
+            description: T4C_DESC,
+            paper: T4C_PAPER.into(),
+            measured: format!("{solo_j:.4}ms/{solo_t:.0}Mbps -> {mix_j:.2}ms/{mix_t:.0}Mbps"),
+            pass: *solo_j < 0.1 && *mix_j > 2.0 && *mix_t < solo_t * 0.75,
+        },
+        (Err(e), _) | (_, Err(e)) => err_shape("Table 4c", T4C_DESC, T4C_PAPER, e),
     });
 
     // Figure 4: memclone wins big with one core.
+    const F4M_PAPER: &str = "norm. time ~0.52 at 1 core";
+    const F4M_DESC: &str = "memclone: one micro core shortens execution substantially";
     let mem_base = fig4::run_one(opts, Workload::Memclone, PolicyKind::Baseline);
     let mem_one = fig4::run_one(opts, Workload::Memclone, PolicyKind::Fixed(1));
-    let mem_norm = mem_one.target_secs / mem_base.target_secs;
-    out.push(ShapeResult {
-        artifact: "Figure 4",
-        description: "memclone: one micro core shortens execution substantially",
-        paper: "norm. time ~0.52 at 1 core".into(),
-        measured: format!("norm. time {mem_norm:.3} at 1 core"),
-        pass: mem_norm < 0.8,
+    out.push(match (&mem_base, &mem_one) {
+        (Ok(base), Ok(one)) => {
+            let mem_norm = one.target_secs / base.target_secs;
+            ShapeResult {
+                artifact: "Figure 4",
+                description: F4M_DESC,
+                paper: F4M_PAPER.into(),
+                measured: format!("norm. time {mem_norm:.3} at 1 core"),
+                pass: mem_norm < 0.8,
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => err_shape("Figure 4", F4M_DESC, F4M_PAPER, e),
     });
 
     // Figure 4: dedup prefers 2-3 cores and degrades by 6.
-    let dedup = fig4::sweep(opts, Workload::Dedup);
-    let t = |i: usize| dedup[i].target_secs;
-    let best = (1..=6).map(t).fold(f64::INFINITY, f64::min);
-    let best23 = t(2).min(t(3));
-    out.push(ShapeResult {
-        artifact: "Figure 4",
-        description: "dedup: sweet spot at 2-3 cores, gains erode by 6",
-        paper: "best at 3; worse at 1 and >=4".into(),
-        measured: format!(
-            "norms 1:{:.2} 2:{:.2} 3:{:.2} 6:{:.2}",
-            t(1) / t(0),
-            t(2) / t(0),
-            t(3) / t(0),
-            t(6) / t(0)
-        ),
-        pass: best < t(0) * 0.85 && best23 <= best * 1.35 && t(6) > best * 1.1,
+    const F4D_PAPER: &str = "best at 3; worse at 1 and >=4";
+    const F4D_DESC: &str = "dedup: sweet spot at 2-3 cores, gains erode by 6";
+    let dedup: Result<Vec<_>, _> = fig4::sweep(opts, Workload::Dedup).into_iter().collect();
+    out.push(match dedup {
+        Ok(cells) => {
+            let t = |i: usize| cells[i].target_secs;
+            let best = (1..=6).map(t).fold(f64::INFINITY, f64::min);
+            let best23 = t(2).min(t(3));
+            ShapeResult {
+                artifact: "Figure 4",
+                description: F4D_DESC,
+                paper: F4D_PAPER.into(),
+                measured: format!(
+                    "norms 1:{:.2} 2:{:.2} 3:{:.2} 6:{:.2}",
+                    t(1) / t(0),
+                    t(2) / t(0),
+                    t(3) / t(0),
+                    t(6) / t(0)
+                ),
+                pass: best < t(0) * 0.85 && best23 <= best * 1.35 && t(6) > best * 1.1,
+            }
+        }
+        Err(e) => err_shape("Figure 4", F4D_DESC, F4D_PAPER, e),
     });
 
     // Figure 5: exim peaks at one core.
-    let cells = fig5::sweep(opts, Workload::Exim);
-    let impr1 = cells[1].throughput / cells[0].throughput;
-    let peak_at_one = (2..cells.len()).all(|i| cells[i].throughput <= cells[1].throughput);
-    out.push(ShapeResult {
-        artifact: "Figure 5",
-        description: "exim: throughput peaks at one micro core",
-        paper: "3.9x at 1 core, declining after".into(),
-        measured: format!("{impr1:.2}x at 1 core, peak-at-1 = {peak_at_one}"),
-        pass: impr1 > 1.1 && peak_at_one,
+    const F5_PAPER: &str = "3.9x at 1 core, declining after";
+    const F5_DESC: &str = "exim: throughput peaks at one micro core";
+    let exim: Result<Vec<_>, _> = fig5::sweep(opts, Workload::Exim).into_iter().collect();
+    out.push(match exim {
+        Ok(cells) => {
+            let impr1 = cells[1].throughput / cells[0].throughput;
+            let peak_at_one = (2..cells.len()).all(|i| cells[i].throughput <= cells[1].throughput);
+            ShapeResult {
+                artifact: "Figure 5",
+                description: F5_DESC,
+                paper: F5_PAPER.into(),
+                measured: format!("{impr1:.2}x at 1 core, peak-at-1 = {peak_at_one}"),
+                pass: impr1 > 1.1 && peak_at_one,
+            }
+        }
+        Err(e) => err_shape("Figure 5", F5_DESC, F5_PAPER, e),
     });
 
-    // Figure 6: dynamic tracks static-best for most pairs.
+    // Figure 6: dynamic tracks static-best for most pairs. Pairs with a
+    // failed cell simply don't count as tracked.
     let f6 = fig6::measure(opts);
     let tracked = f6
         .iter()
         .filter(|(w, cells)| {
-            let (stat, dynm) = (cells[1].metric, cells[2].metric);
+            let (Ok(stat), Ok(dynm)) = (&cells[1], &cells[2]) else {
+                return false;
+            };
             if w.is_throughput() {
-                dynm >= stat * 0.8
+                dynm.metric >= stat.metric * 0.8
             } else {
-                dynm <= stat * 1.25
+                dynm.metric <= stat.metric * 1.25
             }
         })
         .count();
@@ -145,31 +213,43 @@ pub fn measure(opts: &RunOptions) -> Vec<ShapeResult> {
     });
 
     // Figure 8: compute workloads unaffected.
-    let f8 = fig8::measure(opts);
-    let worst = f8
-        .iter()
-        .map(|r| (r.dynamic_secs / r.baseline_secs - 1.0).abs())
-        .fold(0.0, f64::max);
-    out.push(ShapeResult {
-        artifact: "Figure 8",
-        description: "dynamic scheme leaves compute workloads untouched",
-        paper: "~2-3% overhead".into(),
-        measured: format!("worst |overhead| {:.1}%", worst * 100.0),
-        pass: worst < 0.05,
+    const F8_PAPER: &str = "~2-3% overhead";
+    const F8_DESC: &str = "dynamic scheme leaves compute workloads untouched";
+    let f8: Result<Vec<_>, _> = fig8::measure(opts).into_iter().collect();
+    out.push(match f8 {
+        Ok(rows) => {
+            let worst = rows
+                .iter()
+                .map(|r| (r.dynamic_secs / r.baseline_secs - 1.0).abs())
+                .fold(0.0, f64::max);
+            ShapeResult {
+                artifact: "Figure 8",
+                description: F8_DESC,
+                paper: F8_PAPER.into(),
+                measured: format!("worst |overhead| {:.1}%", worst * 100.0),
+                pass: worst < 0.05,
+            }
+        }
+        Err(e) => err_shape("Figure 8", F8_DESC, F8_PAPER, e),
     });
 
     // Figure 9: micro-slicing restores the mixed vCPU's I/O.
+    const F9_PAPER: &str = "~420 -> ~690 Mbps; >8ms -> ~0ms";
+    const F9_DESC: &str = "mixed-vCPU TCP: bandwidth restored, jitter collapsed";
     let f9b = fig9::measure_one(opts, true, PolicyKind::Baseline);
     let f9u = fig9::measure_one(opts, true, PolicyKind::Fixed(1));
-    out.push(ShapeResult {
-        artifact: "Figure 9",
-        description: "mixed-vCPU TCP: bandwidth restored, jitter collapsed",
-        paper: "~420 -> ~690 Mbps; >8ms -> ~0ms".into(),
-        measured: format!(
-            "{:.0} -> {:.0} Mbps; {:.2} -> {:.2} ms",
-            f9b.bandwidth_mbps, f9u.bandwidth_mbps, f9b.jitter_ms, f9u.jitter_ms
-        ),
-        pass: f9u.bandwidth_mbps > f9b.bandwidth_mbps * 1.2 && f9u.jitter_ms < f9b.jitter_ms * 0.2,
+    out.push(match (&f9b, &f9u) {
+        (Ok(b), Ok(u)) => ShapeResult {
+            artifact: "Figure 9",
+            description: F9_DESC,
+            paper: F9_PAPER.into(),
+            measured: format!(
+                "{:.0} -> {:.0} Mbps; {:.2} -> {:.2} ms",
+                b.bandwidth_mbps, u.bandwidth_mbps, b.jitter_ms, u.jitter_ms
+            ),
+            pass: u.bandwidth_mbps > b.bandwidth_mbps * 1.2 && u.jitter_ms < b.jitter_ms * 0.2,
+        },
+        (Err(e), _) | (_, Err(e)) => err_shape("Figure 9", F9_DESC, F9_PAPER, e),
     });
 
     out

@@ -7,7 +7,7 @@
 //! (dedup, vips) *lose* with one core and win with 2–3; beyond that the
 //! shrinking normal pool erodes the gains.
 
-use crate::runner::{parallel, PolicyKind, RunOptions};
+use crate::runner::{err_row, finish_time, run_cells, CellResult, PolicyKind, RunOptions};
 use hypervisor::{Machine, MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -58,44 +58,72 @@ pub fn scenario(opts: &RunOptions, w: Workload) -> (MachineConfig, Vec<VmSpec>) 
 }
 
 /// Runs one configuration of one workload.
-pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> Cell {
+pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> CellResult<Cell> {
     let mut m: Machine = crate::runner::build(opts, scenario(opts, w), policy);
-    let end = m
-        .run_until_vm_finished(VmId(0), opts.horizon())
-        .expect("target finishes within the horizon");
-    Cell {
+    let end = finish_time(m.run_until_vm_finished(VmId(0), opts.horizon()))?;
+    Ok(Cell {
         policy,
         target_secs: end.as_secs_f64(),
         corunner_rate: m.vm_work_done(VmId(1)) as f64 / end.as_secs_f64(),
-    }
+    })
+}
+
+/// Cell label for failure reports: names the (scenario, policy, seed).
+fn label(opts: &RunOptions, w: Workload, policy: PolicyKind) -> String {
+    format!(
+        "fig4[{} x {}, seed {:#x}]",
+        w.name(),
+        policy.label(),
+        opts.seed
+    )
 }
 
 /// Runs the sweep for one workload, fanning the configurations across
 /// `opts.jobs` workers (results stay in configuration order).
-pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<Cell> {
+pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<CellResult<Cell>> {
     let configs = configs();
-    parallel::map(opts.jobs, &configs, |&policy| run_one(opts, w, policy))
+    run_cells(
+        opts,
+        configs.len(),
+        |i| label(opts, w, configs[i]),
+        |i| run_one(opts, w, configs[i]),
+    )
+    .into_iter()
+    .map(|r| r.map_err(|e| e.failure))
+    .collect()
 }
 
 /// Renders Figure 4 (one table per workload pair, times normalized to the
 /// baseline like the paper's y-axis). The full workload × configuration
 /// grid is flattened into one index space so the fan-out load-balances
-/// across both axes.
+/// across both axes. Failed cells render as `ERR` rows (normalized
+/// columns degrade to `ERR` if the baseline itself failed).
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let configs = configs();
-    let grid = parallel::run_indexed(opts.jobs, WORKLOADS.len() * configs.len(), |i| {
-        run_one(
-            opts,
-            WORKLOADS[i / configs.len()],
-            configs[i % configs.len()],
-        )
-    });
+    let grid = run_cells(
+        opts,
+        WORKLOADS.len() * configs.len(),
+        |i| {
+            label(
+                opts,
+                WORKLOADS[i / configs.len()],
+                configs[i % configs.len()],
+            )
+        },
+        |i| {
+            run_one(
+                opts,
+                WORKLOADS[i / configs.len()],
+                configs[i % configs.len()],
+            )
+        },
+    );
     WORKLOADS
         .iter()
         .enumerate()
         .map(|(wi, &w)| {
             let cells = &grid[wi * configs.len()..(wi + 1) * configs.len()];
-            let base = cells[0];
+            let base = cells[0].as_ref().ok();
             let mut t = Table::new(vec![
                 "config",
                 &format!("{} (norm)", w.name()),
@@ -107,14 +135,24 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                 "Figure 4 [{} + swaptions]: normalized execution time vs #micro cores",
                 w.name()
             ));
-            for c in cells {
-                t.row(vec![
-                    c.policy.label(),
-                    format!("{:.3}", c.target_secs / base.target_secs),
-                    format!("{:.3}", base.corunner_rate / c.corunner_rate),
-                    format!("{:.2}", c.target_secs),
-                    format!("{:.0}", c.corunner_rate),
-                ]);
+            for (ci, cell) in cells.iter().enumerate() {
+                match (cell, base) {
+                    (Ok(c), Some(b)) => t.row(vec![
+                        c.policy.label(),
+                        format!("{:.3}", c.target_secs / b.target_secs),
+                        format!("{:.3}", b.corunner_rate / c.corunner_rate),
+                        format!("{:.2}", c.target_secs),
+                        format!("{:.0}", c.corunner_rate),
+                    ]),
+                    (Ok(c), None) => t.row(vec![
+                        c.policy.label(),
+                        "ERR".to_string(),
+                        "ERR".to_string(),
+                        format!("{:.2}", c.target_secs),
+                        format!("{:.0}", c.corunner_rate),
+                    ]),
+                    (Err(_), _) => t.row(err_row(configs[ci].label(), 4)),
+                }
             }
             t
         })
@@ -137,8 +175,8 @@ mod tests {
     )]
     fn memclone_wins_with_one_micro_core() {
         let opts = RunOptions::quick();
-        let base = run_one(&opts, Workload::Memclone, PolicyKind::Baseline);
-        let one = run_one(&opts, Workload::Memclone, PolicyKind::Fixed(1));
+        let base = run_one(&opts, Workload::Memclone, PolicyKind::Baseline).unwrap();
+        let one = run_one(&opts, Workload::Memclone, PolicyKind::Fixed(1)).unwrap();
         assert!(
             one.target_secs < base.target_secs * 0.7,
             "memclone: 1 core {}s vs baseline {}s",

@@ -2,7 +2,7 @@
 //! exim and psearchy (throughput benchmarks), with the swaptions
 //! co-runner's execution time on the second axis.
 
-use crate::runner::{parallel, PolicyKind, RunOptions};
+use crate::runner::{err_row, run_cells, CellResult, PolicyKind, RunOptions};
 use hypervisor::{Machine, MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -39,41 +39,69 @@ pub fn scenario(_opts: &RunOptions, w: Workload) -> (MachineConfig, Vec<VmSpec>)
 }
 
 /// Runs one configuration over the measurement window.
-pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> Cell {
+pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> CellResult<Cell> {
     let window = opts.window(SimDuration::from_secs(4));
-    let m: Machine = crate::runner::run_window(opts, scenario(opts, w), policy, window);
+    let m: Machine = crate::runner::run_window(opts, scenario(opts, w), policy, window)?;
     let secs = window.as_secs_f64();
-    Cell {
+    Ok(Cell {
         policy,
         throughput: m.vm_work_done(VmId(0)) as f64 / secs,
         corunner_rate: m.vm_work_done(VmId(1)) as f64 / secs,
-    }
+    })
+}
+
+fn label(opts: &RunOptions, w: Workload, policy: PolicyKind) -> String {
+    format!(
+        "fig5[{} x {}, seed {:#x}]",
+        w.name(),
+        policy.label(),
+        opts.seed
+    )
 }
 
 /// Runs the full sweep for one workload, fanned across `opts.jobs`
 /// workers in configuration order.
-pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<Cell> {
+pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<CellResult<Cell>> {
     let configs = crate::fig4::configs();
-    parallel::map(opts.jobs, &configs, |&policy| run_one(opts, w, policy))
+    run_cells(
+        opts,
+        configs.len(),
+        |i| label(opts, w, configs[i]),
+        |i| run_one(opts, w, configs[i]),
+    )
+    .into_iter()
+    .map(|r| r.map_err(|e| e.failure))
+    .collect()
 }
 
 /// Renders Figure 5, flattening the workload × configuration grid into
-/// one fan-out index space.
+/// one fan-out index space. Failed cells render as `ERR` rows.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let configs = crate::fig4::configs();
-    let grid = parallel::run_indexed(opts.jobs, WORKLOADS.len() * configs.len(), |i| {
-        run_one(
-            opts,
-            WORKLOADS[i / configs.len()],
-            configs[i % configs.len()],
-        )
-    });
+    let grid = run_cells(
+        opts,
+        WORKLOADS.len() * configs.len(),
+        |i| {
+            label(
+                opts,
+                WORKLOADS[i / configs.len()],
+                configs[i % configs.len()],
+            )
+        },
+        |i| {
+            run_one(
+                opts,
+                WORKLOADS[i / configs.len()],
+                configs[i % configs.len()],
+            )
+        },
+    );
     WORKLOADS
         .iter()
         .enumerate()
         .map(|(wi, &w)| {
             let cells = &grid[wi * configs.len()..(wi + 1) * configs.len()];
-            let base = cells[0];
+            let base = cells[0].as_ref().ok();
             let mut t = Table::new(vec![
                 "config",
                 "throughput improvement",
@@ -84,13 +112,22 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                 "Figure 5 [{} + swaptions]: throughput vs #micro cores",
                 w.name()
             ));
-            for c in cells {
-                t.row(vec![
-                    c.policy.label(),
-                    format!("{:.2}x", c.throughput / base.throughput),
-                    format!("{:.3}", base.corunner_rate / c.corunner_rate),
-                    format!("{:.0}", c.throughput),
-                ]);
+            for (ci, cell) in cells.iter().enumerate() {
+                match (cell, base) {
+                    (Ok(c), Some(b)) => t.row(vec![
+                        c.policy.label(),
+                        format!("{:.2}x", c.throughput / b.throughput),
+                        format!("{:.3}", b.corunner_rate / c.corunner_rate),
+                        format!("{:.0}", c.throughput),
+                    ]),
+                    (Ok(c), None) => t.row(vec![
+                        c.policy.label(),
+                        "ERR".to_string(),
+                        "ERR".to_string(),
+                        format!("{:.0}", c.throughput),
+                    ]),
+                    (Err(_), _) => t.row(err_row(configs[ci].label(), 3)),
+                }
             }
             t
         })
@@ -106,8 +143,8 @@ mod tests {
     #[test]
     fn exim_throughput_multiplies_with_one_core() {
         let opts = RunOptions::quick();
-        let base = run_one(&opts, Workload::Exim, PolicyKind::Baseline);
-        let one = run_one(&opts, Workload::Exim, PolicyKind::Fixed(1));
+        let base = run_one(&opts, Workload::Exim, PolicyKind::Baseline).unwrap();
+        let one = run_one(&opts, Workload::Exim, PolicyKind::Fixed(1)).unwrap();
         let improvement = one.throughput / base.throughput;
         assert!(
             improvement > 1.12,

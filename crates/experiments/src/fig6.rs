@@ -4,7 +4,7 @@
 //! best static core count, and Algorithm 1. The reproduction target:
 //! dynamic tracks static-best closely and both beat the baseline.
 
-use crate::runner::{parallel, PolicyKind, RunOptions};
+use crate::runner::{err_row, run_cells, CellError, CellResult, PolicyKind, RunOptions};
 use metrics::render::Table;
 use workloads::Workload;
 
@@ -42,46 +42,66 @@ pub struct Cell {
 }
 
 /// Runs one pair under one policy.
-pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> Cell {
+pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> CellResult<Cell> {
     if w.is_throughput() {
-        let c = crate::fig5::run_one(opts, w, policy);
-        Cell {
+        let c = crate::fig5::run_one(opts, w, policy)?;
+        Ok(Cell {
             policy,
             metric: c.throughput,
             corunner_rate: c.corunner_rate,
-        }
+        })
     } else {
-        let c = crate::fig4::run_one(opts, w, policy);
-        Cell {
+        let c = crate::fig4::run_one(opts, w, policy)?;
+        Ok(Cell {
             policy,
             metric: c.target_secs,
             corunner_rate: c.corunner_rate,
-        }
+        })
+    }
+}
+
+fn grid_policy(w: Workload, slot: usize) -> PolicyKind {
+    match slot {
+        0 => PolicyKind::Baseline,
+        1 => PolicyKind::Fixed(static_best(w)),
+        _ => PolicyKind::Adaptive,
     }
 }
 
 /// Runs baseline / static-best / dynamic for every pair, fanning the
-/// 6 × 3 grid across `opts.jobs` workers.
-pub fn measure(opts: &RunOptions) -> Vec<(Workload, [Cell; 3])> {
-    let grid = parallel::run_indexed(opts.jobs, WORKLOADS.len() * 3, |i| {
-        let w = WORKLOADS[i / 3];
-        let policy = match i % 3 {
-            0 => PolicyKind::Baseline,
-            1 => PolicyKind::Fixed(static_best(w)),
-            _ => PolicyKind::Adaptive,
-        };
-        run_one(opts, w, policy)
-    });
+/// 6 × 3 grid across `opts.jobs` workers. Failed cells come back as
+/// labelled errors.
+pub fn measure(opts: &RunOptions) -> Vec<(Workload, [Result<Cell, CellError>; 3])> {
+    let mut grid = run_cells(
+        opts,
+        WORKLOADS.len() * 3,
+        |i| {
+            let w = WORKLOADS[i / 3];
+            format!(
+                "fig6[{} x {}, seed {:#x}]",
+                w.name(),
+                grid_policy(w, i % 3).label(),
+                opts.seed
+            )
+        },
+        |i| {
+            let w = WORKLOADS[i / 3];
+            run_one(opts, w, grid_policy(w, i % 3))
+        },
+    )
+    .into_iter();
     WORKLOADS
         .iter()
-        .enumerate()
-        .map(|(wi, &w)| (w, [grid[wi * 3], grid[wi * 3 + 1], grid[wi * 3 + 2]]))
+        .map(|&w| {
+            let mut next = || grid.next().expect("grid sized to 3 per workload");
+            (w, [next(), next(), next()])
+        })
         .collect()
 }
 
 /// Renders Figure 6. Metrics are normalized to baseline: execution times
 /// as time ratios (lower is better), throughputs as improvements (higher
-/// is better).
+/// is better). A pair with any failed cell renders as an `ERR` row.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let mut t = Table::new(vec![
         "pair",
@@ -94,7 +114,11 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     ])
     .with_title("Figure 6: static best vs dynamic micro-sliced cores");
     for (w, cells) in measure(opts) {
-        let base = cells[0].metric;
+        let [Ok(b), Ok(s), Ok(d)] = &cells else {
+            t.row(err_row(format!("{} + swaptions", w.name()), 6));
+            continue;
+        };
+        let base = b.metric;
         let norm = |c: &Cell| {
             if w.is_throughput() {
                 format!("{:.2}x", c.metric / base)
@@ -109,11 +133,11 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
             } else {
                 "norm. time".into()
             },
-            norm(&cells[0]),
-            norm(&cells[1]),
-            norm(&cells[2]),
-            format!("{:.3}", cells[0].corunner_rate / cells[1].corunner_rate),
-            format!("{:.3}", cells[0].corunner_rate / cells[2].corunner_rate),
+            norm(b),
+            norm(s),
+            norm(d),
+            format!("{:.3}", b.corunner_rate / s.corunner_rate),
+            format!("{:.3}", b.corunner_rate / d.corunner_rate),
         ]);
     }
     vec![t]
@@ -132,9 +156,9 @@ mod tests {
     )]
     fn dynamic_tracks_static_best_for_dedup() {
         let opts = RunOptions::quick();
-        let base = run_one(&opts, Workload::Dedup, PolicyKind::Baseline);
-        let stat = run_one(&opts, Workload::Dedup, PolicyKind::Fixed(3));
-        let dynm = run_one(&opts, Workload::Dedup, PolicyKind::Adaptive);
+        let base = run_one(&opts, Workload::Dedup, PolicyKind::Baseline).unwrap();
+        let stat = run_one(&opts, Workload::Dedup, PolicyKind::Fixed(3)).unwrap();
+        let dynm = run_one(&opts, Workload::Dedup, PolicyKind::Adaptive).unwrap();
         assert!(stat.metric < base.metric * 0.7, "static must beat baseline");
         assert!(
             dynm.metric < base.metric * 0.8,

@@ -6,7 +6,7 @@
 //! the TLB-bound ones), and the halt share shrinks as the VMs regain
 //! utilization.
 
-use crate::runner::{parallel, PolicyKind, RunOptions};
+use crate::runner::{err_row, run_cells, CellError, CellResult, PolicyKind, RunOptions};
 use hypervisor::stats::YieldBreakdown;
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -18,7 +18,11 @@ pub const WORKLOADS: [Workload; 6] = crate::fig6::WORKLOADS;
 
 /// Measures the target VM's yield breakdown under one policy, over a
 /// fixed window (endless workload variants, so B/S/D windows align).
-pub fn measure_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> YieldBreakdown {
+pub fn measure_one(
+    opts: &RunOptions,
+    w: Workload,
+    policy: PolicyKind,
+) -> CellResult<YieldBreakdown> {
     let window = opts.window(SimDuration::from_secs(3));
     let (cfg, _) = scenarios::corun(w);
     let n = cfg.num_pcpus;
@@ -26,48 +30,79 @@ pub fn measure_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> YieldB
         scenarios::vm_with_iters(w, n, None),
         scenarios::vm_with_iters(Workload::Swaptions, n, None),
     ];
-    let m = crate::runner::run_window(opts, (cfg, specs), policy, window);
-    m.stats.vm(VmId(0)).yields
+    let m = crate::runner::run_window(opts, (cfg, specs), policy, window)?;
+    Ok(m.stats.vm(VmId(0)).yields)
+}
+
+fn grid_policy(w: Workload, slot: usize) -> PolicyKind {
+    match slot {
+        0 => PolicyKind::Baseline,
+        1 => PolicyKind::Fixed(crate::fig6::static_best(w)),
+        _ => PolicyKind::Adaptive,
+    }
 }
 
 /// Runs B/S/D for every pair, fanning the 6 × 3 grid across
 /// `opts.jobs` workers.
-pub fn measure(opts: &RunOptions) -> Vec<(Workload, [YieldBreakdown; 3])> {
-    let grid = parallel::run_indexed(opts.jobs, WORKLOADS.len() * 3, |i| {
-        let w = WORKLOADS[i / 3];
-        let policy = match i % 3 {
-            0 => PolicyKind::Baseline,
-            1 => PolicyKind::Fixed(crate::fig6::static_best(w)),
-            _ => PolicyKind::Adaptive,
-        };
-        measure_one(opts, w, policy)
-    });
+pub fn measure(opts: &RunOptions) -> Vec<(Workload, [Result<YieldBreakdown, CellError>; 3])> {
+    let mut grid = run_cells(
+        opts,
+        WORKLOADS.len() * 3,
+        |i| {
+            let w = WORKLOADS[i / 3];
+            format!(
+                "fig7[{} x {}, seed {:#x}]",
+                w.name(),
+                grid_policy(w, i % 3).label(),
+                opts.seed
+            )
+        },
+        |i| {
+            let w = WORKLOADS[i / 3];
+            measure_one(opts, w, grid_policy(w, i % 3))
+        },
+    )
+    .into_iter();
     WORKLOADS
         .iter()
-        .enumerate()
-        .map(|(wi, &w)| (w, [grid[wi * 3], grid[wi * 3 + 1], grid[wi * 3 + 2]]))
+        .map(|&w| {
+            let mut next = || grid.next().expect("grid sized to 3 per workload");
+            (w, [next(), next(), next()])
+        })
         .collect()
 }
 
-/// Renders Figure 7 (stacked-bar data as rows).
+/// Renders Figure 7 (stacked-bar data as rows). Failed configurations
+/// render as `ERR` rows; the `vs B` column degrades to `ERR` when the
+/// baseline itself failed.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let mut t = Table::new(vec![
         "pair", "config", "ipi", "spinlock", "halt", "others", "total", "vs B",
     ])
     .with_title("Figure 7: yield events by source (B: baseline, S: static, D: dynamic)");
     for (w, breakdowns) in measure(opts) {
-        let base_total = breakdowns[0].total().max(1);
+        let base_total = breakdowns[0].as_ref().ok().map(|b| b.total().max(1));
         for (label, b) in ["B", "S", "D"].iter().zip(&breakdowns) {
-            t.row(vec![
-                format!("{}", w.name()),
-                label.to_string(),
-                b.ipi.to_string(),
-                b.spinlock.to_string(),
-                b.halt.to_string(),
-                b.other.to_string(),
-                b.total().to_string(),
-                format!("{:.2}", b.total() as f64 / base_total as f64),
-            ]);
+            match b {
+                Ok(b) => t.row(vec![
+                    format!("{}", w.name()),
+                    label.to_string(),
+                    b.ipi.to_string(),
+                    b.spinlock.to_string(),
+                    b.halt.to_string(),
+                    b.other.to_string(),
+                    b.total().to_string(),
+                    match base_total {
+                        Some(base) => format!("{:.2}", b.total() as f64 / base as f64),
+                        None => "ERR".to_string(),
+                    },
+                ]),
+                Err(_) => {
+                    let mut row = err_row(w.name().to_string(), 7);
+                    row[1] = label.to_string();
+                    t.row(row);
+                }
+            }
         }
     }
     vec![t]
@@ -82,8 +117,8 @@ mod tests {
         let opts = RunOptions::quick();
         // Lock-bound pair: PLE yields dominate the baseline and shrink
         // under the static configuration.
-        let base = measure_one(&opts, Workload::Gmake, PolicyKind::Baseline);
-        let stat = measure_one(&opts, Workload::Gmake, PolicyKind::Fixed(1));
+        let base = measure_one(&opts, Workload::Gmake, PolicyKind::Baseline).unwrap();
+        let stat = measure_one(&opts, Workload::Gmake, PolicyKind::Fixed(1)).unwrap();
         assert!(
             base.spinlock > base.ipi,
             "gmake baseline should be PLE-dominated: {base:?}"
@@ -95,12 +130,12 @@ mod tests {
             base.spinlock
         );
         // TLB-bound pair: IPI yields dominate the baseline.
-        let dbase = measure_one(&opts, Workload::Dedup, PolicyKind::Baseline);
+        let dbase = measure_one(&opts, Workload::Dedup, PolicyKind::Baseline).unwrap();
         assert!(
             dbase.ipi > dbase.spinlock,
             "dedup baseline should be IPI-dominated: {dbase:?}"
         );
-        let dstat = measure_one(&opts, Workload::Dedup, PolicyKind::Fixed(3));
+        let dstat = measure_one(&opts, Workload::Dedup, PolicyKind::Fixed(3)).unwrap();
         assert!(
             dstat.ipi < dbase.ipi,
             "static should reduce IPI yields: {} vs {}",

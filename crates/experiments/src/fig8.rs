@@ -4,7 +4,9 @@
 //! baseline and the dynamic policy. The reproduction target: the dynamic
 //! scheme's profiling changes their execution time by only a few percent.
 
-use crate::runner::{parallel, PolicyKind, RunOptions};
+use crate::runner::{
+    err_row, finish_time, run_cells, CellError, CellResult, PolicyKind, RunOptions,
+};
 use hypervisor::{MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -34,38 +36,55 @@ fn scenario(opts: &RunOptions, w: Workload) -> (MachineConfig, Vec<VmSpec>) {
     )
 }
 
-fn exec_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> f64 {
+fn exec_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> CellResult<f64> {
     let mut m = crate::runner::build(opts, scenario(opts, w), policy);
-    m.run_until_vm_finished(VmId(0), opts.horizon())
-        .expect("target finishes")
-        .as_secs_f64()
+    let end = finish_time(m.run_until_vm_finished(VmId(0), opts.horizon()))?;
+    Ok(end.as_secs_f64())
 }
 
 /// Runs the measurement, fanning the workload × policy grid across
-/// `opts.jobs` workers.
-pub fn measure(opts: &RunOptions) -> Vec<Row> {
+/// `opts.jobs` workers. A row whose baseline or dynamic run failed comes
+/// back as that cell's error.
+pub fn measure(opts: &RunOptions) -> Vec<Result<Row, CellError>> {
     let set = Workload::figure8_set();
-    let grid = parallel::run_indexed(opts.jobs, set.len() * 2, |i| {
-        let w = set[i / 2];
-        let policy = if i % 2 == 0 {
-            PolicyKind::Baseline
-        } else {
-            PolicyKind::Adaptive
-        };
-        exec_one(opts, w, policy)
-    });
+    let grid = run_cells(
+        opts,
+        set.len() * 2,
+        |i| {
+            format!(
+                "fig8[{} x {}, seed {:#x}]",
+                set[i / 2].name(),
+                if i % 2 == 0 { "baseline" } else { "dynamic" },
+                opts.seed
+            )
+        },
+        |i| {
+            let w = set[i / 2];
+            let policy = if i % 2 == 0 {
+                PolicyKind::Baseline
+            } else {
+                PolicyKind::Adaptive
+            };
+            exec_one(opts, w, policy)
+        },
+    );
     set.iter()
         .enumerate()
-        .map(|(wi, &w)| Row {
-            workload: w,
-            baseline_secs: grid[wi * 2],
-            dynamic_secs: grid[wi * 2 + 1],
+        .map(|(wi, &w)| {
+            let baseline_secs = grid[wi * 2].clone()?;
+            let dynamic_secs = grid[wi * 2 + 1].clone()?;
+            Ok(Row {
+                workload: w,
+                baseline_secs,
+                dynamic_secs,
+            })
         })
         .collect()
 }
 
-/// Renders Figure 8.
+/// Renders Figure 8. Failed rows render as `ERR`.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
+    let set = Workload::figure8_set();
     let mut t = Table::new(vec![
         "workload",
         "baseline (s)",
@@ -74,15 +93,20 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
         "overhead",
     ])
     .with_title("Figure 8: non-affected workloads (co-run w/ swaptions)");
-    for r in measure(opts) {
-        let norm = r.dynamic_secs / r.baseline_secs;
-        t.row(vec![
-            r.workload.name().to_string(),
-            format!("{:.2}", r.baseline_secs),
-            format!("{:.2}", r.dynamic_secs),
-            format!("{norm:.3}"),
-            format!("{:+.1}%", (norm - 1.0) * 100.0),
-        ]);
+    for (wi, r) in measure(opts).into_iter().enumerate() {
+        match r {
+            Ok(r) => {
+                let norm = r.dynamic_secs / r.baseline_secs;
+                t.row(vec![
+                    r.workload.name().to_string(),
+                    format!("{:.2}", r.baseline_secs),
+                    format!("{:.2}", r.dynamic_secs),
+                    format!("{norm:.3}"),
+                    format!("{:+.1}%", (norm - 1.0) * 100.0),
+                ]);
+            }
+            Err(_) => t.row(err_row(set[wi].name().to_string(), 4)),
+        }
     }
     vec![t]
 }
@@ -97,8 +121,8 @@ mod tests {
         // One representative from PARSEC and one from SPEC keeps the test
         // fast; the full set runs in the bench harness.
         for w in [Workload::Blackscholes, Workload::Sjeng] {
-            let b = exec_one(&opts, w, PolicyKind::Baseline);
-            let d = exec_one(&opts, w, PolicyKind::Adaptive);
+            let b = exec_one(&opts, w, PolicyKind::Baseline).unwrap();
+            let d = exec_one(&opts, w, PolicyKind::Adaptive).unwrap();
             let overhead = (d / b - 1.0) * 100.0;
             assert!(
                 overhead.abs() < 8.0,

@@ -6,7 +6,9 @@
 //! and its bandwidth roughly halves; the micro-sliced scheme restores
 //! bandwidth and drives jitter toward zero.
 
-use crate::runner::{parallel, run_window, PolicyKind, RunOptions};
+use crate::runner::{
+    err_row, run_cells, run_window, CellError, CellResult, PolicyKind, RunOptions,
+};
 use metrics::render::{fmt_f64, Table};
 use simcore::ids::VmId;
 use simcore::time::SimDuration;
@@ -28,29 +30,49 @@ pub struct Row {
 }
 
 /// Runs one transport × policy cell.
-pub fn measure_one(opts: &RunOptions, tcp: bool, policy: PolicyKind) -> Row {
+pub fn measure_one(opts: &RunOptions, tcp: bool, policy: PolicyKind) -> CellResult<Row> {
     let window = opts.window(SimDuration::from_secs(4));
-    let m = run_window(opts, scenarios::fig9_mixed_pinned(tcp), policy, window);
+    let m = run_window(opts, scenarios::fig9_mixed_pinned(tcp), policy, window)?;
     let flow = &m.vm(VmId(0)).kernel.flows[0];
-    Row {
+    Ok(Row {
         transport: if tcp { "TCP" } else { "UDP" },
         policy,
         bandwidth_mbps: flow.throughput_mbps(m.now()),
         jitter_ms: flow.jitter_ms(),
         dropped: flow.dropped,
+    })
+}
+
+const POLICIES: [PolicyKind; 2] = [PolicyKind::Baseline, PolicyKind::Fixed(1)];
+
+fn grid_transport(i: usize) -> &'static str {
+    if i / 2 == 0 {
+        "TCP"
+    } else {
+        "UDP"
     }
 }
 
 /// Runs the full Figure 9 grid (TCP/UDP × baseline/micro-sliced), fanned
-/// across `opts.jobs` workers in grid order.
-pub fn measure(opts: &RunOptions) -> Vec<Row> {
-    const POLICIES: [PolicyKind; 2] = [PolicyKind::Baseline, PolicyKind::Fixed(1)];
-    parallel::run_indexed(opts.jobs, 4, |i| {
-        measure_one(opts, i / 2 == 0, POLICIES[i % 2])
-    })
+/// across `opts.jobs` workers in grid order. Failed cells come back as
+/// labelled errors.
+pub fn measure(opts: &RunOptions) -> Vec<Result<Row, CellError>> {
+    run_cells(
+        opts,
+        4,
+        |i| {
+            format!(
+                "fig9[{} x {}, seed {:#x}]",
+                grid_transport(i),
+                POLICIES[i % 2].label(),
+                opts.seed
+            )
+        },
+        |i| measure_one(opts, i / 2 == 0, POLICIES[i % 2]),
+    )
 }
 
-/// Renders Figure 9a.
+/// Renders Figure 9a. Failed cells render as `ERR` rows.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let mut t = Table::new(vec![
         "transport",
@@ -60,18 +82,25 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
         "drops",
     ])
     .with_title("Figure 9: mixed co-run iPerf (two pinned single-vCPU VMs)");
-    for r in measure(opts) {
-        let label = match r.policy {
+    for (i, r) in measure(opts).into_iter().enumerate() {
+        let config = match POLICIES[i % 2] {
             PolicyKind::Baseline => "baseline".to_string(),
             _ => "u-sliced".to_string(),
         };
-        t.row(vec![
-            r.transport.to_string(),
-            label,
-            fmt_f64(r.bandwidth_mbps),
-            fmt_f64(r.jitter_ms),
-            r.dropped.to_string(),
-        ]);
+        match r {
+            Ok(r) => t.row(vec![
+                r.transport.to_string(),
+                config,
+                fmt_f64(r.bandwidth_mbps),
+                fmt_f64(r.jitter_ms),
+                r.dropped.to_string(),
+            ]),
+            Err(_) => {
+                let mut row = err_row(grid_transport(i).to_string(), 4);
+                row[1] = config;
+                t.row(row);
+            }
+        }
     }
     vec![t]
 }
@@ -83,8 +112,8 @@ mod tests {
     #[test]
     fn microslicing_restores_tcp_bandwidth_and_jitter() {
         let opts = RunOptions::quick();
-        let base = measure_one(&opts, true, PolicyKind::Baseline);
-        let fast = measure_one(&opts, true, PolicyKind::Fixed(1));
+        let base = measure_one(&opts, true, PolicyKind::Baseline).unwrap();
+        let fast = measure_one(&opts, true, PolicyKind::Fixed(1)).unwrap();
         assert!(
             fast.bandwidth_mbps > base.bandwidth_mbps * 1.2,
             "bandwidth: {} vs {}",

@@ -3,10 +3,11 @@
 pub mod parallel;
 
 use hypervisor::policy::SchedPolicy;
-use hypervisor::{BaselinePolicy, Machine, MachineConfig, VmSpec};
+use hypervisor::{BaselinePolicy, FaultSpec, Machine, MachineConfig, SimError, VmSpec};
 use microslice::{AdaptiveConfig, MicroslicePolicy};
 use simcore::ids::VmId;
 use simcore::time::{SimDuration, SimTime};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which scheduling policy a run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +53,17 @@ pub struct RunOptions {
     /// order; any value produces byte-identical results — see
     /// [`parallel`].
     pub jobs: usize,
+    /// Run [`Machine::check_invariants`] on every accounting tick.
+    /// Validation only: enabling it never changes simulation output.
+    ///
+    /// [`Machine::check_invariants`]: hypervisor::Machine::check_invariants
+    pub paranoid: bool,
+    /// Render failed grid cells as `ERR` and finish the rest of the grid
+    /// instead of aborting on the first failure (`repro --keep-going`).
+    pub keep_going: bool,
+    /// Fault plan installed into every machine the runner builds. `None`
+    /// (the default) injects nothing and leaves output byte-identical.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for RunOptions {
@@ -60,6 +72,9 @@ impl Default for RunOptions {
             quick: false,
             seed: 0xE005_2018, // EuroSys 2018.
             jobs: 1,
+            paranoid: false,
+            keep_going: false,
+            faults: None,
         }
     }
 }
@@ -118,6 +133,118 @@ impl RunOptions {
     }
 }
 
+/// Why one grid cell of an experiment failed.
+#[derive(Clone, Debug)]
+pub enum CellFailure {
+    /// The cell's simulation (or merge code) panicked.
+    Panic(String),
+    /// The simulation poisoned itself with a typed error.
+    Sim(SimError),
+    /// The run hit its horizon before every VM finished — a silently
+    /// truncated run would corrupt normalized execution times, so it is
+    /// reported as a failure instead.
+    Horizon,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellFailure::Panic(msg) => write!(f, "panicked: {msg}"),
+            CellFailure::Sim(e) => write!(f, "simulation error: {e}"),
+            CellFailure::Horizon => write!(f, "did not finish within the horizon"),
+        }
+    }
+}
+
+/// A cell failure tagged with the `(scenario, policy, seed)` label of the
+/// grid cell it happened in.
+#[derive(Clone, Debug)]
+pub struct CellError {
+    /// Which cell, e.g. `fig4[dedup x 3, seed 0xe0052018]`.
+    pub label: String,
+    /// What went wrong.
+    pub failure: CellFailure,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.label, self.failure)
+    }
+}
+
+/// Result of one experiment grid cell.
+pub type CellResult<T> = Result<T, CellFailure>;
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Fans `f(0..n)` across `opts.jobs` workers with each cell isolated by
+/// `catch_unwind`: a panicking or failing cell becomes an `Err` carrying
+/// `label(i)` instead of taking the whole grid down. Without
+/// `opts.keep_going` the first failure still aborts — but only after the
+/// whole grid ran, and the panic message names the failing cell.
+pub fn run_cells<T, L, F>(opts: &RunOptions, n: usize, label: L, f: F) -> Vec<Result<T, CellError>>
+where
+    T: Send,
+    L: Fn(usize) -> String + Sync,
+    F: Fn(usize) -> CellResult<T> + Sync,
+{
+    let out: Vec<Result<T, CellError>> = parallel::run_indexed(opts.jobs, n, |i| {
+        catch_unwind(AssertUnwindSafe(|| f(i)))
+            .unwrap_or_else(|p| Err(CellFailure::Panic(panic_text(p))))
+            .map_err(|failure| CellError {
+                label: label(i),
+                failure,
+            })
+    });
+    if !opts.keep_going {
+        if let Some(Err(e)) = out.iter().find(|r| r.is_err()) {
+            panic!("experiment cell failed — {e}; re-run with --keep-going to render it as ERR and finish the rest of the grid");
+        }
+    }
+    out
+}
+
+/// A table row for a failed cell: the label followed by `cols` `ERR`
+/// columns.
+pub fn err_row(label: String, cols: usize) -> Vec<String> {
+    let mut row = vec![label];
+    row.extend((0..cols).map(|_| "ERR".to_string()));
+    row
+}
+
+/// Converts a `run_until_vm_finished` outcome into a cell result,
+/// reporting horizon exhaustion instead of silently truncating.
+pub fn finish_time(r: Result<Option<SimTime>, SimError>) -> CellResult<SimTime> {
+    match r {
+        Ok(Some(t)) => Ok(t),
+        Ok(None) => Err(CellFailure::Horizon),
+        Err(e) => Err(CellFailure::Sim(e)),
+    }
+}
+
+/// Builds a machine from a scenario and an explicit policy object,
+/// applying the options' seed, paranoid mode, and fault plan.
+pub fn build_with(
+    opts: &RunOptions,
+    scenario: (MachineConfig, Vec<VmSpec>),
+    policy: Box<dyn SchedPolicy>,
+) -> Machine {
+    let (mut cfg, specs) = scenario;
+    cfg.seed = opts.seed;
+    cfg.paranoid = opts.paranoid;
+    let mut m = Machine::new(cfg, specs, policy);
+    if let Some(spec) = &opts.faults {
+        m.install_faults(spec);
+    }
+    m
+}
+
 /// Builds a machine from a scenario and policy, seeding it from the
 /// options.
 pub fn build(
@@ -125,9 +252,7 @@ pub fn build(
     scenario: (MachineConfig, Vec<VmSpec>),
     policy: PolicyKind,
 ) -> Machine {
-    let (mut cfg, specs) = scenario;
-    cfg.seed = opts.seed;
-    Machine::new(cfg, specs, policy.build())
+    build_with(opts, scenario, policy.build())
 }
 
 /// Runs for a fixed measurement window and returns the machine.
@@ -136,31 +261,35 @@ pub fn run_window(
     scenario: (MachineConfig, Vec<VmSpec>),
     policy: PolicyKind,
     window: SimDuration,
-) -> Machine {
+) -> CellResult<Machine> {
     let mut m = build(opts, scenario, policy);
-    m.run_until(SimTime::ZERO + window);
-    m
+    m.run_until(SimTime::ZERO + window)
+        .map_err(CellFailure::Sim)?;
+    Ok(m)
 }
 
-/// Runs until every VM finishes (or the horizon passes) and returns the
-/// machine. Panics if the horizon is hit — experiment budgets are sized
+/// Runs until every VM finishes and returns the machine. Hitting the
+/// horizon is a [`CellFailure::Horizon`] — experiment budgets are sized
 /// so completion always happens, and silently truncated runs would
 /// corrupt normalized execution times.
 pub fn run_to_completion(
     opts: &RunOptions,
     scenario: (MachineConfig, Vec<VmSpec>),
     policy: PolicyKind,
-) -> Machine {
+) -> CellResult<Machine> {
     let mut m = build(opts, scenario, policy);
-    let finished = m.run_until_all_finished(opts.horizon());
-    assert!(
-        finished,
-        "scenario did not finish within the horizon; raise it or lower the workload budget"
-    );
-    m
+    let finished = m
+        .run_until_all_finished(opts.horizon())
+        .map_err(CellFailure::Sim)?;
+    if !finished {
+        return Err(CellFailure::Horizon);
+    }
+    Ok(m)
 }
 
-/// Execution time of a VM in seconds (panics if it has not finished).
+/// Execution time of a VM in seconds (panics if it has not finished —
+/// callers obtain the machine from [`run_to_completion`], which already
+/// turned non-completion into an error).
 pub fn exec_secs(m: &Machine, vm: VmId) -> f64 {
     m.vm_finished_at(vm).expect("VM finished").as_secs_f64()
 }
@@ -236,8 +365,72 @@ mod tests {
             scenarios::solo(Workload::Swaptions),
             PolicyKind::Baseline,
             SimDuration::from_millis(500),
-        );
+        )
+        .unwrap();
         assert!(m.vm_work_done(VmId(0)) > 0);
         assert_eq!(m.now(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn run_cells_isolates_panics_under_keep_going() {
+        let opts = RunOptions {
+            keep_going: true,
+            ..RunOptions::quick()
+        };
+        let out = run_cells(
+            &opts,
+            4,
+            |i| format!("cell[{i}]"),
+            |i| {
+                if i == 2 {
+                    panic!("boom {i}");
+                }
+                Ok(i * 10)
+            },
+        );
+        assert_eq!(out.len(), 4, "all cells must complete");
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        assert_eq!(*out[3].as_ref().unwrap(), 30);
+        let e = out[2].as_ref().unwrap_err();
+        assert_eq!(e.label, "cell[2]");
+        assert!(
+            matches!(&e.failure, CellFailure::Panic(msg) if msg.contains("boom 2")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cell[1]")]
+    fn run_cells_names_the_failing_cell_without_keep_going() {
+        let opts = RunOptions::quick();
+        let _ = run_cells(
+            &opts,
+            3,
+            |i| format!("cell[{i}]"),
+            |i| {
+                if i == 1 {
+                    Err(CellFailure::Horizon)
+                } else {
+                    Ok(i)
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn err_row_fills_columns() {
+        assert_eq!(err_row("x".into(), 2), vec!["x", "ERR", "ERR"]);
+    }
+
+    #[test]
+    fn cell_failure_displays() {
+        let e = CellError {
+            label: "fig9[TCP x baseline]".into(),
+            failure: CellFailure::Horizon,
+        };
+        assert_eq!(
+            e.to_string(),
+            "fig9[TCP x baseline]: did not finish within the horizon"
+        );
     }
 }

@@ -10,9 +10,12 @@
 //! (coarse whole-vCPU classification), fixed-µsliced (every core 0.1 ms),
 //! and the paper's flexible micro-sliced cores (static best + dynamic).
 
-use crate::runner::{parallel, PolicyKind, RunOptions};
+use crate::runner::{
+    build_with, err_row, finish_time, run_cells, CellError, CellFailure, CellResult, PolicyKind,
+    RunOptions,
+};
 use hypervisor::policy::SchedPolicy;
-use hypervisor::{Machine, MachineConfig};
+use hypervisor::MachineConfig;
 use metrics::render::{fmt_f64, Table};
 use microslice::{AdaptiveConfig, MicroslicePolicy, VTurboPolicy, VtrsPolicy};
 use simcore::ids::VmId;
@@ -91,7 +94,7 @@ pub struct Row {
     pub iperf_jitter_ms: f64,
 }
 
-fn exim_run(opts: &RunOptions, scheme: Scheme) -> f64 {
+fn exim_run(opts: &RunOptions, scheme: Scheme) -> CellResult<f64> {
     let window = opts.window(SimDuration::from_secs(3));
     let (mut cfg, _) = scenarios::corun(Workload::Exim);
     scheme.mutate_config(&mut cfg);
@@ -100,13 +103,13 @@ fn exim_run(opts: &RunOptions, scheme: Scheme) -> f64 {
         scenarios::vm_with_iters(Workload::Exim, n, None),
         scenarios::vm_with_iters(Workload::Swaptions, n, None),
     ];
-    cfg.seed = opts.seed;
-    let mut m = Machine::new(cfg, specs, scheme.policy(1));
-    m.run_until(SimTime::ZERO + window);
-    m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64()
+    let mut m = build_with(opts, (cfg, specs), scheme.policy(1));
+    m.run_until(SimTime::ZERO + window)
+        .map_err(CellFailure::Sim)?;
+    Ok(m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64())
 }
 
-fn dedup_run(opts: &RunOptions, scheme: Scheme) -> f64 {
+fn dedup_run(opts: &RunOptions, scheme: Scheme) -> CellResult<f64> {
     let (mut cfg, _) = scenarios::corun(Workload::Dedup);
     scheme.mutate_config(&mut cfg);
     let n = cfg.num_pcpus;
@@ -115,50 +118,66 @@ fn dedup_run(opts: &RunOptions, scheme: Scheme) -> f64 {
         scenarios::vm_with_iters(Workload::Dedup, n, Some(iters)),
         scenarios::vm_with_iters(Workload::Swaptions, n, None),
     ];
-    cfg.seed = opts.seed;
-    let mut m = Machine::new(cfg, specs, scheme.policy(3));
-    m.run_until_vm_finished(VmId(0), opts.horizon())
-        .expect("dedup finishes")
-        .as_secs_f64()
+    let mut m = build_with(opts, (cfg, specs), scheme.policy(3));
+    let end = finish_time(m.run_until_vm_finished(VmId(0), opts.horizon()))?;
+    Ok(end.as_secs_f64())
 }
 
-fn iperf_run(opts: &RunOptions, scheme: Scheme) -> f64 {
+fn iperf_run(opts: &RunOptions, scheme: Scheme) -> CellResult<f64> {
     let window = opts.window(SimDuration::from_secs(3));
     let (mut cfg, specs) = scenarios::fig9_mixed_pinned(true);
     scheme.mutate_config(&mut cfg);
-    cfg.seed = opts.seed;
-    let mut m = Machine::new(cfg, specs, scheme.policy(1));
-    m.run_until(SimTime::ZERO + window);
-    m.vm(VmId(0)).kernel.flows[0].jitter_ms()
+    let mut m = build_with(opts, (cfg, specs), scheme.policy(1));
+    m.run_until(SimTime::ZERO + window)
+        .map_err(CellFailure::Sim)?;
+    Ok(m.vm(VmId(0)).kernel.flows[0].jitter_ms())
 }
 
+const SYMPTOMS: [&str; 3] = ["exim", "dedup", "iperf"];
+
 /// Runs all schemes across all three symptoms — an 18-cell scheme ×
-/// symptom grid fanned across `opts.jobs` workers.
-pub fn measure(opts: &RunOptions) -> Vec<Row> {
-    let grid = parallel::run_indexed(opts.jobs, Scheme::ALL.len() * 3, |i| {
-        let scheme = Scheme::ALL[i / 3];
-        match i % 3 {
-            0 => exim_run(opts, scheme),
-            1 => dedup_run(opts, scheme),
-            _ => iperf_run(opts, scheme),
-        }
-    });
+/// symptom grid fanned across `opts.jobs` workers. A scheme row with any
+/// failed symptom cell comes back as that cell's error.
+pub fn measure(opts: &RunOptions) -> Vec<Result<Row, CellError>> {
+    let grid = run_cells(
+        opts,
+        Scheme::ALL.len() * 3,
+        |i| {
+            format!(
+                "table1[{} x {}, seed {:#x}]",
+                SYMPTOMS[i % 3],
+                Scheme::ALL[i / 3].label(),
+                opts.seed
+            )
+        },
+        |i| {
+            let scheme = Scheme::ALL[i / 3];
+            match i % 3 {
+                0 => exim_run(opts, scheme),
+                1 => dedup_run(opts, scheme),
+                _ => iperf_run(opts, scheme),
+            }
+        },
+    );
     Scheme::ALL
         .iter()
         .enumerate()
-        .map(|(si, &scheme)| Row {
-            scheme,
-            exim_tput: grid[si * 3],
-            dedup_secs: grid[si * 3 + 1],
-            iperf_jitter_ms: grid[si * 3 + 2],
+        .map(|(si, &scheme)| {
+            Ok(Row {
+                scheme,
+                exim_tput: grid[si * 3].clone()?,
+                dedup_secs: grid[si * 3 + 1].clone()?,
+                iperf_jitter_ms: grid[si * 3 + 2].clone()?,
+            })
         })
         .collect()
 }
 
-/// Renders quantitative Table 1.
+/// Renders quantitative Table 1. Failed rows render as `ERR`; the
+/// normalized columns degrade to `ERR` when the baseline row failed.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let rows = measure(opts);
-    let base = rows[0];
+    let base = rows[0].as_ref().ok().copied();
     let mut t = Table::new(vec![
         "scheme",
         "exim (locks)",
@@ -168,13 +187,22 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     .with_title(
         "Table 1 (quantitative): symptom coverage of prior schemes vs flexible micro-sliced cores",
     );
-    for r in rows {
-        t.row(vec![
-            r.scheme.label().to_string(),
-            format!("{:.2}x tput", r.exim_tput / base.exim_tput),
-            format!("{:.2}x time", r.dedup_secs / base.dedup_secs),
-            format!("{} ms jitter", fmt_f64(r.iperf_jitter_ms)),
-        ]);
+    for (si, r) in rows.into_iter().enumerate() {
+        match (r, base) {
+            (Ok(r), Some(base)) => t.row(vec![
+                r.scheme.label().to_string(),
+                format!("{:.2}x tput", r.exim_tput / base.exim_tput),
+                format!("{:.2}x time", r.dedup_secs / base.dedup_secs),
+                format!("{} ms jitter", fmt_f64(r.iperf_jitter_ms)),
+            ]),
+            (Ok(r), None) => t.row(vec![
+                r.scheme.label().to_string(),
+                "ERR".to_string(),
+                "ERR".to_string(),
+                format!("{} ms jitter", fmt_f64(r.iperf_jitter_ms)),
+            ]),
+            (Err(_), _) => t.row(err_row(Scheme::ALL[si].label().to_string(), 3)),
+        }
     }
     vec![t]
 }
@@ -191,21 +219,21 @@ mod tests {
     fn comparators_cover_their_claimed_symptoms_only() {
         let opts = RunOptions::quick();
         // vTurbo fixes I/O but not TLB.
-        let base_jitter = iperf_run(&opts, Scheme::Baseline);
-        let vturbo_jitter = iperf_run(&opts, Scheme::VTurbo);
+        let base_jitter = iperf_run(&opts, Scheme::Baseline).unwrap();
+        let vturbo_jitter = iperf_run(&opts, Scheme::VTurbo).unwrap();
         assert!(
             vturbo_jitter < base_jitter * 0.5,
             "vTurbo should fix mixed I/O: {vturbo_jitter} vs {base_jitter}"
         );
-        let base_dedup = dedup_run(&opts, Scheme::Baseline);
-        let vturbo_dedup = dedup_run(&opts, Scheme::VTurbo);
+        let base_dedup = dedup_run(&opts, Scheme::Baseline).unwrap();
+        let vturbo_dedup = dedup_run(&opts, Scheme::VTurbo).unwrap();
         assert!(
             vturbo_dedup > base_dedup * 0.9,
             "vTurbo must not fix the TLB symptom: {vturbo_dedup} vs {base_dedup}"
         );
         // Ours fixes both.
-        let ours_jitter = iperf_run(&opts, Scheme::MicrosliceStatic);
-        let ours_dedup = dedup_run(&opts, Scheme::MicrosliceStatic);
+        let ours_jitter = iperf_run(&opts, Scheme::MicrosliceStatic).unwrap();
+        let ours_dedup = dedup_run(&opts, Scheme::MicrosliceStatic).unwrap();
         assert!(ours_jitter < base_jitter * 0.5);
         assert!(ours_dedup < base_dedup * 0.6);
     }

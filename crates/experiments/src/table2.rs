@@ -5,7 +5,7 @@
 //! configurations. The reproduction target is the *shape*: co-run yields
 //! exceed solo yields by orders of magnitude.
 
-use crate::runner::{parallel, run_window, PolicyKind, RunOptions};
+use crate::runner::{err_row, run_cells, run_window, CellError, PolicyKind, RunOptions};
 use metrics::render::Table;
 use simcore::ids::VmId;
 use simcore::time::SimDuration;
@@ -34,58 +34,77 @@ pub struct Row {
 /// {solo, co-run} grid fans out across `opts.jobs` workers; each run
 /// returns only the target VM's yield count, so nothing heavyweight
 /// crosses threads.
-pub fn measure(opts: &RunOptions) -> Vec<Row> {
+pub fn measure(opts: &RunOptions) -> Vec<Result<Row, CellError>> {
     let window = opts.window(SimDuration::from_secs(4));
     // Endless variants in both configurations: Table 2 counts yields
     // while the workload runs, not completion times.
-    let yields = parallel::run_indexed(opts.jobs, WORKLOADS.len() * 2, |i| {
-        let w = WORKLOADS[i / 2];
-        let scenario = if i % 2 == 0 {
-            let (cfg, _) = scenarios::solo(w);
-            let spec = scenarios::vm_with_iters(w, cfg.num_pcpus, None);
-            (cfg, vec![spec])
-        } else {
-            let (cfg, _) = scenarios::corun(w);
-            let n = cfg.num_pcpus;
-            (
-                cfg,
-                vec![
-                    scenarios::vm_with_iters(w, n, None),
-                    scenarios::vm_with_iters(Workload::Swaptions, n, None),
-                ],
+    let yields = run_cells(
+        opts,
+        WORKLOADS.len() * 2,
+        |i| {
+            format!(
+                "table2[{} {}, seed {:#x}]",
+                WORKLOADS[i / 2].name(),
+                if i % 2 == 0 { "solo" } else { "corun" },
+                opts.seed
             )
-        };
-        let m = run_window(opts, scenario, PolicyKind::Baseline, window);
-        m.stats.vm(VmId(0)).yields.total()
-    });
+        },
+        |i| {
+            let w = WORKLOADS[i / 2];
+            let scenario = if i % 2 == 0 {
+                let (cfg, _) = scenarios::solo(w);
+                let spec = scenarios::vm_with_iters(w, cfg.num_pcpus, None);
+                (cfg, vec![spec])
+            } else {
+                let (cfg, _) = scenarios::corun(w);
+                let n = cfg.num_pcpus;
+                (
+                    cfg,
+                    vec![
+                        scenarios::vm_with_iters(w, n, None),
+                        scenarios::vm_with_iters(Workload::Swaptions, n, None),
+                    ],
+                )
+            };
+            let m = run_window(opts, scenario, PolicyKind::Baseline, window)?;
+            Ok(m.stats.vm(VmId(0)).yields.total())
+        },
+    );
     WORKLOADS
         .iter()
         .enumerate()
-        .map(|(wi, &w)| Row {
-            workload: w,
-            solo: yields[wi * 2],
-            corun: yields[wi * 2 + 1],
+        .map(|(wi, &w)| {
+            Ok(Row {
+                workload: w,
+                solo: yields[wi * 2].clone()?,
+                corun: yields[wi * 2 + 1].clone()?,
+            })
         })
         .collect()
 }
 
-/// Renders Table 2.
+/// Renders Table 2. Failed rows render as `ERR`.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let rows = measure(opts);
     let mut t = Table::new(vec!["workload", "solo", "co-run", "ratio"])
         .with_title("Table 2: number of yields, solo vs co-run (w/ swaptions)");
-    for r in rows {
-        let ratio = if r.solo == 0 {
-            f64::INFINITY
-        } else {
-            r.corun as f64 / r.solo as f64
-        };
-        t.row(vec![
-            r.workload.name().to_string(),
-            r.solo.to_string(),
-            r.corun.to_string(),
-            format!("{ratio:.0}x"),
-        ]);
+    for (wi, r) in rows.into_iter().enumerate() {
+        match r {
+            Ok(r) => {
+                let ratio = if r.solo == 0 {
+                    f64::INFINITY
+                } else {
+                    r.corun as f64 / r.solo as f64
+                };
+                t.row(vec![
+                    r.workload.name().to_string(),
+                    r.solo.to_string(),
+                    r.corun.to_string(),
+                    format!("{ratio:.0}x"),
+                ]);
+            }
+            Err(_) => t.row(err_row(WORKLOADS[wi].name().to_string(), 3)),
+        }
     }
     vec![t]
 }
@@ -96,7 +115,10 @@ mod tests {
 
     #[test]
     fn corun_yields_dwarf_solo_yields() {
-        let rows = measure(&RunOptions::quick());
+        let rows: Vec<Row> = measure(&RunOptions::quick())
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(rows.len(), 4);
         // Full-budget runs show 19x–50000x (see EXPERIMENTS.md); the quick
         // budget has few scheduling rounds, so guard a conservative 3x.

@@ -6,28 +6,52 @@
 //! census (instruction pointers resolved through the symbol table), and
 //! report each observed kernel function with its whitelist class.
 
-use crate::runner::{parallel, run_window, PolicyKind, RunOptions};
+use crate::runner::{run_cells, run_window, CellError, PolicyKind, RunOptions};
 use ksym::whitelist::{CriticalClass, Whitelist};
 use metrics::render::Table;
 use simcore::time::SimDuration;
 use std::collections::BTreeMap;
 use workloads::{scenarios, Workload};
 
-/// Runs the census and returns `(site, class, count)` sorted by count.
-pub fn measure(opts: &RunOptions) -> Vec<(&'static str, CriticalClass, u64)> {
+/// Runs the census and returns `(site, class, count)` sorted by count,
+/// plus the errors of any contributing runs that failed (the census then
+/// covers only the runs that completed).
+pub fn measure(opts: &RunOptions) -> (Vec<(&'static str, CriticalClass, u64)>, Vec<CellError>) {
     let window = opts.window(SimDuration::from_secs(3));
     // The three co-run scenarios fan out; each worker returns only its
     // site counts. The merged census sums counts, so any merge order
     // yields the same BTreeMap — index order is kept anyway.
     const WORKLOADS: [Workload; 3] = [Workload::Gmake, Workload::Dedup, Workload::Psearchy];
-    let per_run = parallel::map(opts.jobs, &WORKLOADS, |&w| {
-        let m = run_window(opts, scenarios::corun(w), PolicyKind::Baseline, window);
-        m.stats.yield_sites.clone()
-    });
+    let per_run = run_cells(
+        opts,
+        WORKLOADS.len(),
+        |i| {
+            format!(
+                "table3[{} x baseline, seed {:#x}]",
+                WORKLOADS[i].name(),
+                opts.seed
+            )
+        },
+        |i| {
+            let m = run_window(
+                opts,
+                scenarios::corun(WORKLOADS[i]),
+                PolicyKind::Baseline,
+                window,
+            )?;
+            Ok(m.stats.yield_sites.clone())
+        },
+    );
     let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
-    for sites in per_run {
-        for (site, count) in &sites {
-            *census.entry(site).or_insert(0) += count;
+    let mut errors = Vec::new();
+    for run in per_run {
+        match run {
+            Ok(sites) => {
+                for (site, count) in &sites {
+                    *census.entry(site).or_insert(0) += count;
+                }
+            }
+            Err(e) => errors.push(e),
         }
     }
     let wl = Whitelist::linux44();
@@ -36,12 +60,13 @@ pub fn measure(opts: &RunOptions) -> Vec<(&'static str, CriticalClass, u64)> {
         .map(|(site, count)| (site, wl.class_of(site), count))
         .collect();
     rows.sort_by_key(|&(_, _, count)| core::cmp::Reverse(count));
-    rows
+    (rows, errors)
 }
 
-/// Renders the Table 3 census.
+/// Renders the Table 3 census. Failed contributing runs are reported as
+/// trailing `ERR` rows (the census then covers only the completed runs).
 pub fn run(opts: &RunOptions) -> Vec<Table> {
-    let rows = measure(opts);
+    let (rows, errors) = measure(opts);
     let mut t = Table::new(vec!["function at yield", "class", "yields"]).with_title(
         "Table 3: kernel functions observed at yield time (gmake/dedup/psearchy co-runs)",
     );
@@ -52,6 +77,9 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
             count.to_string(),
         ]);
     }
+    for e in errors {
+        t.row(vec![e.label.clone(), "ERR".to_string(), "ERR".to_string()]);
+    }
     vec![t]
 }
 
@@ -61,7 +89,8 @@ mod tests {
 
     #[test]
     fn census_finds_the_papers_critical_sites() {
-        let rows = measure(&RunOptions::quick());
+        let (rows, errors) = measure(&RunOptions::quick());
+        assert!(errors.is_empty(), "census runs failed: {errors:?}");
         let sites: Vec<&str> = rows.iter().map(|r| r.0).collect();
         // The two dominant yield sites of §3.1: lock spinning (PLE) and
         // the one-to-many IPI wait.

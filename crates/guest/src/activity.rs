@@ -217,6 +217,25 @@ impl Activity {
             Activity::Idle => {}
         }
     }
+
+    /// Adds `extra` to the remaining time of a timed activity — the
+    /// guest-visible effect of host-level stolen time (the work did not
+    /// progress while the host ran someone else). No-op for spinning and
+    /// idle states, whose cost is wall-clock, not CPU work.
+    pub fn inflate(&mut self, extra: SimDuration) {
+        match self {
+            Activity::User { rem, .. }
+            | Activity::UserCritical { rem, .. }
+            | Activity::Kernel { rem, .. }
+            | Activity::CriticalHold { rem, .. }
+            | Activity::TlbLocal { rem, .. }
+            | Activity::KWorkRun { rem, .. } => *rem += extra,
+            Activity::SpinWait { .. }
+            | Activity::TlbWait { .. }
+            | Activity::ReschedWait { .. }
+            | Activity::Idle => {}
+        }
+    }
 }
 
 /// The guest-side context of one vCPU.
@@ -444,6 +463,31 @@ mod tests {
             Activity::SpinWait { spun, .. } => assert_eq!(spun, us(7)),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn inflate_extends_timed_only() {
+        let mut a = Activity::Kernel {
+            task: 0,
+            sym: "sys_read",
+            rem: us(10),
+        };
+        a.inflate(us(5));
+        assert_eq!(a.rem(), Some(us(15)));
+
+        let mut s = Activity::TlbWait {
+            task: 0,
+            sd: ShootdownId(0),
+            spun: us(2),
+        };
+        s.inflate(us(5));
+        match s {
+            Activity::TlbWait { spun, .. } => assert_eq!(spun, us(2)),
+            _ => unreachable!(),
+        }
+        let mut i = Activity::Idle;
+        i.inflate(us(5));
+        assert_eq!(i, Activity::Idle);
     }
 
     #[test]

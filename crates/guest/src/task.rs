@@ -42,6 +42,11 @@ pub struct Task {
     /// Mid-segment execution state saved across guest-level preemption
     /// (when multiple tasks share a vCPU and the guest slice expires).
     pub saved: Option<Activity>,
+    /// Zero-time [`Segment::WorkUnit`]s to emit before consulting the
+    /// program again. Normally zero; fault injection uses it to model a
+    /// burst of untimed work (a misbehaving program) without touching the
+    /// program or its RNG stream.
+    pub pending_burst: u32,
 }
 
 impl Task {
@@ -57,11 +62,17 @@ impl Task {
             finished_at: None,
             inbox: 0,
             saved: None,
+            pending_burst: 0,
         }
     }
 
-    /// Pulls the next segment from the program.
+    /// Pulls the next segment from the program (draining any injected
+    /// zero-time burst first, so the program's RNG stream is untouched).
     pub fn next_segment(&mut self) -> Segment {
+        if self.pending_burst > 0 {
+            self.pending_burst -= 1;
+            return Segment::WorkUnit;
+        }
         self.program.next_segment(&mut self.rng)
     }
 
@@ -129,6 +140,16 @@ mod tests {
         assert!(!t.is_schedulable());
         t.state = TaskState::Running;
         assert!(t.is_schedulable());
+    }
+
+    #[test]
+    fn pending_burst_drains_before_the_program() {
+        let mut t = demo_task();
+        t.pending_burst = 2;
+        assert_eq!(t.next_segment(), Segment::WorkUnit);
+        assert_eq!(t.next_segment(), Segment::WorkUnit);
+        assert!(matches!(t.next_segment(), Segment::User { .. }));
+        assert_eq!(t.pending_burst, 0);
     }
 
     #[test]

@@ -78,6 +78,13 @@ pub struct MachineConfig {
     pub micro_runq_cap: usize,
     /// RNG seed for the whole machine.
     pub seed: u64,
+    /// Paranoid mode: run [`Machine::check_invariants`] on every credit
+    /// tick. Pure validation — it draws no randomness and mutates no
+    /// scheduler state, so enabling it never changes simulation output
+    /// (only the `invariant_checks` counter and possibly an error).
+    ///
+    /// [`Machine::check_invariants`]: crate::Machine::check_invariants
+    pub paranoid: bool,
 }
 
 impl Default for MachineConfig {
@@ -108,6 +115,7 @@ impl Default for MachineConfig {
             guest_slice: SimDuration::from_millis(4),
             micro_runq_cap: 1,
             seed: 0x5EED_0001,
+            paranoid: false,
         }
     }
 }

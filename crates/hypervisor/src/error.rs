@@ -1,0 +1,111 @@
+//! Typed simulation failures.
+//!
+//! The machine used to `panic!` on state-machine corruption, which meant
+//! one bad workload program (or one injected fault that exposed a
+//! scheduler bug) aborted an entire experiment grid. Hard failures are
+//! now recorded as a [`SimError`] on the machine and surfaced through the
+//! `run_until_*` family, so callers decide whether to abort, skip the
+//! cell, or report the failure.
+
+use simcore::ids::{VcpuId, VmId};
+use simcore::time::SimTime;
+
+/// A fatal simulation failure.
+///
+/// Once raised, the machine is poisoned: every subsequent `run_until_*`
+/// call returns the same error without advancing time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A vCPU made `STEP_GUARD` zero-time transitions without emitting
+    /// timed work — its workload program is broken (or a fault plan
+    /// pushed it past the guard).
+    StepGuard {
+        /// When the guard tripped.
+        at: SimTime,
+        /// The spinning vCPU.
+        vcpu: VcpuId,
+    },
+    /// A task emitted `STEP_GUARD` zero-time segments in a row.
+    SegmentGuard {
+        /// When the guard tripped.
+        at: SimTime,
+        /// The VM owning the task.
+        vm: VmId,
+        /// Task index within the VM.
+        task: u32,
+    },
+    /// Scheduler state-machine corruption (e.g. descheduling a vCPU that
+    /// is not running).
+    SchedCorruption {
+        /// When the corruption was detected.
+        at: SimTime,
+        /// What went wrong.
+        what: String,
+    },
+    /// A [`Machine::check_invariants`](crate::Machine::check_invariants)
+    /// pass failed.
+    Invariant {
+        /// When the check ran.
+        at: SimTime,
+        /// The violated invariant.
+        what: String,
+    },
+}
+
+impl SimError {
+    /// When the failure was detected.
+    pub fn at(&self) -> SimTime {
+        match self {
+            SimError::StepGuard { at, .. }
+            | SimError::SegmentGuard { at, .. }
+            | SimError::SchedCorruption { at, .. }
+            | SimError::Invariant { at, .. } => *at,
+        }
+    }
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::StepGuard { at, vcpu } => write!(
+                f,
+                "[{at}] vCPU {vcpu} exceeded the zero-time step guard; \
+                 its workload program emits no timed work"
+            ),
+            SimError::SegmentGuard { at, vm, task } => write!(
+                f,
+                "[{at}] task {task} of {vm} exceeded the zero-time segment guard"
+            ),
+            SimError::SchedCorruption { at, what } => {
+                write!(f, "[{at}] scheduler corruption: {what}")
+            }
+            SimError::Invariant { at, what } => {
+                write!(f, "[{at}] invariant violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_site() {
+        let e = SimError::StepGuard {
+            at: SimTime::from_millis(3),
+            vcpu: VcpuId::new(VmId(1), 2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("step guard"), "{s}");
+        assert_eq!(e.at(), SimTime::from_millis(3));
+
+        let e = SimError::Invariant {
+            at: SimTime::ZERO,
+            what: "credits out of range".into(),
+        };
+        assert!(e.to_string().contains("credits out of range"));
+    }
+}

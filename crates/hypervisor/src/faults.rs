@@ -1,0 +1,462 @@
+//! Deterministic fault injection.
+//!
+//! Timing simulators are only trustworthy when their state machine
+//! survives perturbed inputs, so the machine can inject anomalies at its
+//! existing hook points: delayed or dropped IPI/kick deliveries, spurious
+//! wakeup kicks, stolen-time spikes on a pCPU, and bursts of zero-time
+//! guest segments. The whole plan is derived up front from a
+//! [`FaultSpec`] by a dedicated RNG stream (never the machine's own
+//! [`SimRng`]), so
+//!
+//! - an empty plan is byte-identical to a run without fault injection,
+//!   and
+//! - a given `(machine seed, fault seed)` pair always injects the same
+//!   anomalies at the same instants, regardless of job count or platform.
+//!
+//! Faults *perturb* the simulation but never bypass its rules: a dropped
+//! kick still leaves the interrupt work queued (the target notices at its
+//! next transition), stolen time inflates the remaining work of the
+//! current activity, and zero-time bursts stay far below the step guard.
+//! After every applied fault the machine runs
+//! [`Machine::check_invariants`](crate::Machine::check_invariants) and
+//! poisons itself with a [`SimError`](crate::SimError) on violation.
+
+use crate::machine::{Event, Machine};
+use simcore::ids::{PcpuId, VcpuId, VmId};
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+
+/// Bit flag for [`FaultKind::IpiDelay`] in [`FaultSpec::kinds`].
+pub const KIND_IPI_DELAY: u8 = 1 << 0;
+/// Bit flag for [`FaultKind::DropKicks`] in [`FaultSpec::kinds`].
+pub const KIND_DROP_KICKS: u8 = 1 << 1;
+/// Bit flag for [`FaultKind::SpuriousKick`] in [`FaultSpec::kinds`].
+pub const KIND_SPURIOUS_KICK: u8 = 1 << 2;
+/// Bit flag for [`FaultKind::StolenTime`] in [`FaultSpec::kinds`].
+pub const KIND_STOLEN_TIME: u8 = 1 << 3;
+/// Bit flag for [`FaultKind::ZeroBurst`] in [`FaultSpec::kinds`].
+pub const KIND_ZERO_BURST: u8 = 1 << 4;
+/// All fault kinds enabled.
+pub const KIND_ALL: u8 =
+    KIND_IPI_DELAY | KIND_DROP_KICKS | KIND_SPURIOUS_KICK | KIND_STOLEN_TIME | KIND_ZERO_BURST;
+
+/// Ceiling on injected zero-time segments per task, kept well below the
+/// machine's step guard (100 000) so injection can never fake a broken
+/// program.
+const MAX_PENDING_BURST: u32 = 50_000;
+
+/// One concrete anomaly to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Add `extra` latency to every subsequent kick/IPI delivery to a
+    /// running vCPU (event-delivery jitter; `extra == 0` restores the
+    /// configured latency). The planner emits set/clear pairs.
+    IpiDelay {
+        /// Extra delivery latency.
+        extra: SimDuration,
+    },
+    /// Swallow the next `count` kick deliveries to running vCPUs. The
+    /// interrupt work itself is still queued — the target notices it at
+    /// its next transition or dispatch, modelling a lost wakeup IPI whose
+    /// work is recovered by polling.
+    DropKicks {
+        /// How many kicks to swallow.
+        count: u32,
+    },
+    /// Deliver a kick that nobody sent (spurious wakeup).
+    SpuriousKick {
+        /// The kicked vCPU.
+        vcpu: VcpuId,
+    },
+    /// A stolen-time spike: whatever is running on `pcpu` loses `steal`
+    /// of progress (its current activity's remaining work grows).
+    StolenTime {
+        /// The afflicted pCPU.
+        pcpu: PcpuId,
+        /// How much progress is lost.
+        steal: SimDuration,
+    },
+    /// Make a task emit `count` zero-time work units before its next real
+    /// segment (an ill-behaved program burst).
+    ZeroBurst {
+        /// The VM owning the task.
+        vm: VmId,
+        /// Task index within the VM.
+        task: u32,
+        /// Number of zero-time segments.
+        count: u32,
+    },
+}
+
+impl FaultKind {
+    /// Counter key incremented when this fault is applied.
+    pub fn counter_key(&self) -> &'static str {
+        match self {
+            FaultKind::IpiDelay { .. } => "fault_ipi_delay",
+            FaultKind::DropKicks { .. } => "fault_drop_kicks",
+            FaultKind::SpuriousKick { .. } => "fault_spurious_kick",
+            FaultKind::StolenTime { .. } => "fault_stolen_time",
+            FaultKind::ZeroBurst { .. } => "fault_zero_burst",
+        }
+    }
+}
+
+/// A planned anomaly: what happens, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEntry {
+    /// When the anomaly fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// User-facing fault configuration — the `--faults <spec>` argument.
+///
+/// The spec is intentionally small and `Copy`: it describes *how much*
+/// chaos to plan, not the individual anomalies. The concrete
+/// [`FaultPlan`] is derived deterministically from the spec and the
+/// machine topology by [`Machine::install_faults`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed of the dedicated fault-planning RNG stream (mixed with the
+    /// machine seed, so per-cell seed offsets vary the plan too).
+    pub seed: u64,
+    /// Number of anomalies to plan.
+    pub count: u32,
+    /// Enabled fault kinds ([`KIND_ALL`] and friends OR-ed together).
+    pub kinds: u8,
+    /// Time span over which the anomalies are spread, starting at 1 ms
+    /// (so boot-time placement is never perturbed mid-construction).
+    pub window: SimDuration,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0xFA_017,
+            count: 32,
+            kinds: KIND_ALL,
+            window: SimDuration::from_millis(2_000),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Parses a `--faults` argument: comma-separated `key=value` pairs.
+    ///
+    /// Keys: `count=N`, `seed=S`, `window_ms=M`, and
+    /// `kinds=ipi|drop|kick|steal|burst|all` (pipe-separated). Unset keys
+    /// keep their defaults; the empty string is the default spec.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec item {part:?} is not key=value"))?;
+            match key.trim() {
+                "count" => {
+                    spec.count = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fault count {value:?}"))?;
+                }
+                "seed" => {
+                    spec.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fault seed {value:?}"))?;
+                }
+                "window_ms" => {
+                    let ms: u64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fault window {value:?}"))?;
+                    if ms == 0 {
+                        return Err("fault window must be positive".into());
+                    }
+                    spec.window = SimDuration::from_millis(ms);
+                }
+                "kinds" => {
+                    let mut kinds = 0u8;
+                    for name in value.split('|') {
+                        kinds |= match name.trim() {
+                            "ipi" => KIND_IPI_DELAY,
+                            "drop" => KIND_DROP_KICKS,
+                            "kick" => KIND_SPURIOUS_KICK,
+                            "steal" => KIND_STOLEN_TIME,
+                            "burst" => KIND_ZERO_BURST,
+                            "all" => KIND_ALL,
+                            other => return Err(format!("unknown fault kind {other:?}")),
+                        };
+                    }
+                    if kinds == 0 {
+                        return Err("fault spec enables no kinds".into());
+                    }
+                    spec.kinds = kinds;
+                }
+                other => return Err(format!("unknown fault spec key {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// The concrete, fully resolved schedule of anomalies for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Planned anomalies, sorted by firing time.
+    pub entries: Vec<FaultEntry>,
+}
+
+impl FaultPlan {
+    /// Derives a plan from a spec and the machine topology.
+    ///
+    /// `machine_seed` is mixed into the planning stream so per-cell seed
+    /// offsets (each grid cell runs with a derived machine seed) get
+    /// distinct plans from one `--faults` spec. The machine's own RNG is
+    /// never consulted — planning cannot shift the simulation's stream.
+    pub fn generate(
+        spec: &FaultSpec,
+        machine_seed: u64,
+        num_pcpus: u16,
+        vcpus_per_vm: &[u16],
+        tasks_per_vm: &[u32],
+    ) -> FaultPlan {
+        let mut rng = SimRng::new(spec.seed ^ machine_seed.rotate_left(17) ^ 0xFA01_7000_0000_0001);
+        let mut enabled = Vec::new();
+        for kind in [
+            KIND_IPI_DELAY,
+            KIND_DROP_KICKS,
+            KIND_SPURIOUS_KICK,
+            KIND_STOLEN_TIME,
+            KIND_ZERO_BURST,
+        ] {
+            if spec.kinds & kind != 0 {
+                enabled.push(kind);
+            }
+        }
+        let mut entries = Vec::new();
+        if enabled.is_empty() || vcpus_per_vm.is_empty() {
+            return FaultPlan { entries };
+        }
+        let lo = SimDuration::from_millis(1);
+        let hi = lo + spec.window;
+        let pick_vcpu = |rng: &mut SimRng| {
+            let vm = rng.below(vcpus_per_vm.len() as u64) as usize;
+            let idx = rng.below(vcpus_per_vm[vm].max(1) as u64) as u16;
+            VcpuId::new(VmId(vm as u16), idx)
+        };
+        for _ in 0..spec.count {
+            let at = SimTime::ZERO + rng.uniform_duration(lo, hi);
+            let kind = *rng.pick(&enabled);
+            match kind {
+                KIND_IPI_DELAY => {
+                    let extra = rng.uniform_duration(
+                        SimDuration::from_micros(1),
+                        SimDuration::from_micros(50),
+                    );
+                    let hold = rng.uniform_duration(
+                        SimDuration::from_micros(200),
+                        SimDuration::from_millis(2),
+                    );
+                    entries.push(FaultEntry {
+                        at,
+                        kind: FaultKind::IpiDelay { extra },
+                    });
+                    entries.push(FaultEntry {
+                        at: at + hold,
+                        kind: FaultKind::IpiDelay {
+                            extra: SimDuration::ZERO,
+                        },
+                    });
+                }
+                KIND_DROP_KICKS => entries.push(FaultEntry {
+                    at,
+                    kind: FaultKind::DropKicks {
+                        count: 1 + rng.below(4) as u32,
+                    },
+                }),
+                KIND_SPURIOUS_KICK => entries.push(FaultEntry {
+                    at,
+                    kind: FaultKind::SpuriousKick {
+                        vcpu: pick_vcpu(&mut rng),
+                    },
+                }),
+                KIND_STOLEN_TIME => entries.push(FaultEntry {
+                    at,
+                    kind: FaultKind::StolenTime {
+                        pcpu: PcpuId(rng.below(num_pcpus.max(1) as u64) as u16),
+                        steal: rng.uniform_duration(
+                            SimDuration::from_micros(100),
+                            SimDuration::from_millis(2),
+                        ),
+                    },
+                }),
+                KIND_ZERO_BURST => {
+                    let vm = rng.below(tasks_per_vm.len() as u64) as usize;
+                    let tasks = tasks_per_vm[vm];
+                    if tasks == 0 {
+                        continue; // A task-less VM has nothing to burst.
+                    }
+                    entries.push(FaultEntry {
+                        at,
+                        kind: FaultKind::ZeroBurst {
+                            vm: VmId(vm as u16),
+                            task: rng.below(tasks as u64) as u32,
+                            count: 1 + rng.below(1_000) as u32,
+                        },
+                    });
+                }
+                _ => unreachable!("enabled holds single-bit kinds only"),
+            }
+        }
+        entries.sort_by_key(|e| e.at);
+        FaultPlan { entries }
+    }
+}
+
+/// Live fault state carried by the machine.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FaultState {
+    /// The plan (indexed by the `seq` of `Event::Fault`).
+    pub(crate) plan: FaultPlan,
+    /// Extra latency currently added to kick deliveries.
+    pub(crate) ipi_extra: SimDuration,
+    /// Kick deliveries still to swallow.
+    pub(crate) drop_kicks: u32,
+}
+
+impl Machine {
+    /// Installs a fault plan derived from `spec`: schedules one
+    /// `Event::Fault` per planned entry. Call at most once, right after
+    /// construction (before any `run_until_*`).
+    pub fn install_faults(&mut self, spec: &FaultSpec) {
+        let vcpus_per_vm: Vec<u16> = self.vcpus.iter().map(|v| v.len() as u16).collect();
+        let tasks_per_vm: Vec<u32> = self.vms.iter().map(|vm| vm.tasks.len() as u32).collect();
+        let plan = FaultPlan::generate(
+            spec,
+            self.cfg.seed,
+            self.cfg.num_pcpus,
+            &vcpus_per_vm,
+            &tasks_per_vm,
+        );
+        if plan.entries.is_empty() {
+            // An empty plan must leave the machine byte-identical to one
+            // that never had faults installed — including its counters.
+            return;
+        }
+        self.stats
+            .counters
+            .add("faults_planned", plan.entries.len() as u64);
+        for (seq, entry) in plan.entries.iter().enumerate() {
+            self.queue.push(entry.at, Event::Fault { seq: seq as u32 });
+        }
+        self.faults.plan = plan;
+    }
+
+    /// Applies one planned anomaly, then validates machine invariants.
+    pub(crate) fn apply_fault(&mut self, seq: u32) {
+        let Some(entry) = self.faults.plan.entries.get(seq as usize).copied() else {
+            return; // No plan installed (stale event): nothing to do.
+        };
+        self.stats.counters.incr("faults_injected");
+        self.stats.counters.incr(entry.kind.counter_key());
+        match entry.kind {
+            FaultKind::IpiDelay { extra } => {
+                self.faults.ipi_extra = extra;
+            }
+            FaultKind::DropKicks { count } => {
+                self.faults.drop_kicks = self.faults.drop_kicks.saturating_add(count);
+            }
+            FaultKind::SpuriousKick { vcpu } => {
+                // A stray kick event: the handler already tolerates
+                // non-running targets, so this exercises exactly the
+                // stale-wakeup path real IPIs hit.
+                self.queue.push(self.now, Event::Kick { vcpu });
+            }
+            FaultKind::StolenTime { pcpu, steal } => {
+                if let Some(vcpu) = self.pcpus[pcpu.0 as usize].current {
+                    self.account_progress(vcpu);
+                    self.vcpu_mut(vcpu).ctx.activity.inflate(steal);
+                    // Re-plan: the previously planned stop is now too
+                    // early for the inflated activity.
+                    self.vcpu_mut(vcpu).bump_gen();
+                    self.queue.push(self.now, Event::Kick { vcpu });
+                }
+            }
+            FaultKind::ZeroBurst { vm, task, count } => {
+                let t = &mut self.vms[vm.0 as usize].tasks[task as usize];
+                if t.state != guest::task::TaskState::Finished {
+                    t.pending_burst = t.pending_burst.saturating_add(count).min(MAX_PENDING_BURST);
+                }
+            }
+        }
+        self.stats.counters.incr("invariant_checks");
+        if let Err(e) = self.check_invariants() {
+            self.fail(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_and_rejects() {
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::default());
+        let s = FaultSpec::parse("count=7,seed=99,window_ms=500,kinds=ipi|steal").unwrap();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.seed, 99);
+        assert_eq!(s.window, SimDuration::from_millis(500));
+        assert_eq!(s.kinds, KIND_IPI_DELAY | KIND_STOLEN_TIME);
+        assert!(FaultSpec::parse("count=x").is_err());
+        assert!(FaultSpec::parse("bogus=1").is_err());
+        assert!(FaultSpec::parse("kinds=warp").is_err());
+        assert!(FaultSpec::parse("window_ms=0").is_err());
+        assert!(FaultSpec::parse("count").is_err());
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_seed_sensitive() {
+        let spec = FaultSpec::default();
+        let a = FaultPlan::generate(&spec, 1, 4, &[2, 2], &[2, 2]);
+        let b = FaultPlan::generate(&spec, 1, 4, &[2, 2], &[2, 2]);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(&spec, 2, 4, &[2, 2], &[2, 2]);
+        assert_ne!(a, c, "machine seed must vary the plan");
+        let other = FaultSpec {
+            seed: 1,
+            ..FaultSpec::default()
+        };
+        let d = FaultPlan::generate(&other, 1, 4, &[2, 2], &[2, 2]);
+        assert_ne!(a, d, "fault seed must vary the plan");
+    }
+
+    #[test]
+    fn plans_are_sorted_and_respect_kind_mask() {
+        let spec = FaultSpec {
+            count: 64,
+            kinds: KIND_SPURIOUS_KICK,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(&spec, 7, 4, &[2, 2], &[2, 2]);
+        assert_eq!(plan.entries.len(), 64);
+        for w in plan.entries.windows(2) {
+            assert!(w[0].at <= w[1].at, "plan not sorted");
+        }
+        for e in &plan.entries {
+            assert!(matches!(e.kind, FaultKind::SpuriousKick { .. }));
+        }
+    }
+
+    #[test]
+    fn zero_count_plan_is_empty() {
+        let spec = FaultSpec {
+            count: 0,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(&spec, 7, 4, &[2], &[2]);
+        assert!(plan.entries.is_empty());
+    }
+}

@@ -23,6 +23,8 @@
 //! crate), the statistics, and the policy, and advances simulated time.
 
 pub mod config;
+pub mod error;
+pub mod faults;
 pub mod machine;
 pub mod pcpu;
 pub mod policy;
@@ -32,6 +34,8 @@ pub mod vcpu;
 pub mod vm;
 
 pub use config::MachineConfig;
+pub use error::SimError;
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use machine::{Machine, TraceEvent};
 pub use policy::{BaselinePolicy, SchedPolicy, YieldCause};
 pub use pool::PoolId;

@@ -23,6 +23,7 @@ impl Machine {
             Event::Kick { vcpu } => self.on_kick(vcpu),
             Event::Preempt { pcpu } => self.do_preempt_check(pcpu),
             Event::TaskWake { vm, task } => self.on_task_wake(vm, task),
+            Event::Fault { seq } => self.apply_fault(seq),
         }
     }
 
@@ -99,6 +100,12 @@ impl Machine {
         }
         let next = self.now + self.cfg.tick;
         self.queue.push(next, Event::Tick);
+        if self.cfg.paranoid {
+            self.stats.counters.incr("invariant_checks");
+            if let Err(e) = self.check_invariants() {
+                self.fail(e);
+            }
+        }
     }
 
     /// Credit refill: the pool of credits a full period provides is split

@@ -9,10 +9,13 @@
 
 mod api;
 mod handlers;
+mod invariants;
 mod sched;
 mod step;
 
 use crate::config::MachineConfig;
+use crate::error::SimError;
+use crate::faults::FaultState;
 use crate::pcpu::Pcpu;
 use crate::policy::SchedPolicy;
 use crate::pool::{PoolId, PoolSet};
@@ -120,6 +123,11 @@ pub enum Event {
         /// Task index within the VM.
         task: u32,
     },
+    /// A planned fault-injection entry fires (see [`crate::faults`]).
+    Fault {
+        /// Index into the installed fault plan.
+        seq: u32,
+    },
 }
 
 /// The simulated host.
@@ -140,6 +148,10 @@ pub struct Machine {
     pub stats: MachineStats,
     pub(crate) map: Arc<Linux44Map>,
     pub(crate) trace: TraceBuffer<TraceEvent>,
+    /// First fatal error, if any; poisons every later `run_until_*`.
+    pub(crate) fatal: Option<SimError>,
+    /// Fault-injection state (empty plan by default).
+    pub(crate) faults: FaultState,
 }
 
 impl Machine {
@@ -184,6 +196,8 @@ impl Machine {
             stats: MachineStats::new(num_vms),
             map,
             trace: TraceBuffer::disabled(),
+            fatal: None,
+            faults: FaultState::default(),
         };
         machine.boot();
         machine
@@ -252,38 +266,73 @@ impl Machine {
         self.now
     }
 
+    /// Records a fatal error. The first error wins; later ones are
+    /// counted but dropped (the machine is already poisoned).
+    pub(crate) fn fail(&mut self, e: SimError) {
+        self.stats.counters.incr("sim_errors");
+        if self.fatal.is_none() {
+            self.fatal = Some(e);
+        }
+    }
+
+    /// The fatal error poisoning this machine, if any.
+    pub fn error(&self) -> Option<&SimError> {
+        self.fatal.as_ref()
+    }
+
+    /// Propagates a previously recorded fatal error, if any.
+    #[inline]
+    fn poisoned(&self) -> Result<(), SimError> {
+        match &self.fatal {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
     /// Runs until the queue empties or `deadline` is reached, whichever is
-    /// first. On return, [`Machine::now`] equals `deadline` (or the last
-    /// event time if the queue drained early).
-    pub fn run_until(&mut self, deadline: SimTime) {
+    /// first. On success, [`Machine::now`] equals `deadline` (or the last
+    /// event time if the queue drained early). On a fatal simulation
+    /// failure the error is returned immediately and the machine stays
+    /// poisoned: every later `run_until_*` returns the same error.
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        self.poisoned()?;
         while let Some((t, event)) = self.queue.pop_at_or_before(deadline) {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.handle(event);
+            self.poisoned()?;
         }
         if self.now < deadline {
             self.now = deadline;
         }
         self.settle();
+        Ok(())
     }
 
     /// Runs until `vm` finishes all its tasks or `horizon` passes. Returns
-    /// the finish time if the VM completed.
-    pub fn run_until_vm_finished(&mut self, vm: VmId, horizon: SimTime) -> Option<SimTime> {
+    /// the finish time if the VM completed, `None` on horizon exhaustion.
+    pub fn run_until_vm_finished(
+        &mut self,
+        vm: VmId,
+        horizon: SimTime,
+    ) -> Result<Option<SimTime>, SimError> {
+        self.poisoned()?;
         while self.vms[vm.0 as usize].finished_at.is_none() {
             let Some((t, event)) = self.queue.pop_at_or_before(horizon) else {
                 break;
             };
             self.now = t;
             self.handle(event);
+            self.poisoned()?;
         }
         self.settle();
-        self.vms[vm.0 as usize].finished_at
+        Ok(self.vms[vm.0 as usize].finished_at)
     }
 
     /// Runs until every VM with tasks has finished them, or `horizon`
     /// passes. Returns `true` if everything finished.
-    pub fn run_until_all_finished(&mut self, horizon: SimTime) -> bool {
+    pub fn run_until_all_finished(&mut self, horizon: SimTime) -> Result<bool, SimError> {
+        self.poisoned()?;
         let all_done = |m: &Machine| {
             m.vms
                 .iter()
@@ -296,9 +345,10 @@ impl Machine {
             };
             self.now = t;
             self.handle(event);
+            self.poisoned()?;
         }
         self.settle();
-        all_done(self)
+        Ok(all_done(self))
     }
 
     /// Accounts progress of all running vCPUs up to `now` (so CPU-time

@@ -194,6 +194,8 @@ impl Machine {
         } else {
             members
         };
+        // Unreachable assert: pools are fixed at boot and resize keeps the
+        // normal pool non-empty; `allowed` falls back to all members.
         assert!(!allowed.is_empty(), "pool has no pCPUs");
         let last = vc.last_pcpu;
         if allowed.contains(&last) && self.pcpus[last.0 as usize].is_idle() {
@@ -205,6 +207,7 @@ impl Machine {
         {
             return idle;
         }
+        // Unreachable expect: `allowed` was asserted non-empty above.
         *allowed
             .iter()
             .min_by_key(|&&p| (self.pcpus[p.0 as usize].load(), p.0))
@@ -257,10 +260,17 @@ impl Machine {
     /// callers do, so they can interpose.
     pub(crate) fn deschedule(&mut self, vcpu: VcpuId, mode: RequeueMode) {
         self.account_progress(vcpu);
-        let vc = self.vcpu_mut(vcpu);
-        let VState::Running { pcpu, .. } = vc.state else {
-            panic!("deschedule of non-running {vcpu}");
+        // A deschedule of a non-running vCPU means the scheduler's own
+        // bookkeeping is corrupt; poison the machine rather than abort.
+        let VState::Running { pcpu, .. } = self.vcpu(vcpu).state else {
+            let state = self.vcpu(vcpu).state;
+            self.fail(crate::error::SimError::SchedCorruption {
+                at: self.now,
+                what: format!("deschedule of non-running {vcpu} (state {state:?})"),
+            });
+            return;
         };
+        let vc = self.vcpu_mut(vcpu);
         vc.bump_gen();
         vc.boosted = false; // BOOST is consumed by one scheduling.
         self.pcpus[pcpu.0 as usize].current = None;
@@ -363,6 +373,7 @@ impl Machine {
         if !self.vcpu(vcpu).is_running() {
             return;
         }
+        // Unreachable expect: `is_running` was re-checked just above.
         let pcpu = self.vcpu(vcpu).pcpu().expect("running");
         if cause == YieldCause::Halt {
             self.deschedule(vcpu, RequeueMode::Block);
@@ -383,6 +394,8 @@ impl Machine {
     /// uninterrupted; the actual stop may be the slice end or a guest
     /// preemption point, whichever is first.
     pub(crate) fn plan_stop(&mut self, vcpu: VcpuId, at: SimTime, stop: Stop) {
+        // Unreachable expect: only the step loop plans stops, and it runs
+        // exclusively on running vCPUs.
         let pcpu = self.vcpu(vcpu).pcpu().expect("planning for running vCPU");
         let slice_end = self.pcpus[pcpu.0 as usize].slice_end;
         let (at, stop) = if slice_end <= at {

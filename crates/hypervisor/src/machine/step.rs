@@ -7,6 +7,7 @@
 //! exactly one transition event — or yields the pCPU.
 
 use super::{Event, Machine, Stop};
+use crate::error::SimError;
 use crate::stats::YieldCause;
 use guest::activity::{Activity, KWork};
 use guest::task::TaskState;
@@ -30,6 +31,7 @@ impl Machine {
             // unless already inside a handler (interrupts stay disabled).
             let in_handler = matches!(self.vcpus[vmi][vi].ctx.activity, Activity::KWorkRun { .. });
             if !in_handler && !self.vcpus[vmi][vi].ctx.pending.is_empty() {
+                // Unreachable expect: guarded by the `is_empty` check above.
                 let work = *self.vcpus[vmi][vi]
                     .ctx
                     .pending
@@ -145,10 +147,11 @@ impl Machine {
                 }
             }
         }
-        panic!(
-            "vCPU {vcpu} made {STEP_GUARD} zero-time transitions; \
-             its workload program emits no timed work"
-        );
+        // A workload program that never emits timed work would loop here
+        // forever. Poison the machine instead of aborting the process: the
+        // run loop surfaces the error after this event completes.
+        self.fail(SimError::StepGuard { at: self.now, vcpu });
+        self.vcpus[vmi][vi].ctx.activity = Activity::Idle;
     }
 
     /// CPU cost of handling a piece of interrupt work.
@@ -232,6 +235,8 @@ impl Machine {
                 let work = self.vcpus[vmi][vi].ctx.end_kwork();
                 self.handle_kwork_done(vcpu, work);
             }
+            // Unreachable: callers only complete timed activities whose
+            // remaining time hit zero; waits and Idle never have one.
             other => panic!("complete_activity on {other:?}"),
         }
     }
@@ -281,7 +286,16 @@ impl Machine {
         if self.vcpu(target).is_blocked() {
             self.wake_vcpu(target);
         } else if self.vcpu(target).is_running() {
-            let at = self.now + self.cfg.ipi_deliver_latency;
+            if self.faults.drop_kicks > 0 {
+                // Injected fault: the wakeup kick is lost. The work itself
+                // stays queued, so the target still drains it at its next
+                // natural transition (slice end at the latest) — dropped
+                // kicks delay delivery, they never deadlock it.
+                self.faults.drop_kicks -= 1;
+                self.stats.counters.incr("fault_dropped_kicks");
+                return;
+            }
+            let at = self.now + self.cfg.ipi_deliver_latency + self.faults.ipi_extra;
             self.queue.push(at, Event::Kick { vcpu: target });
         }
         // Runnable (preempted): handled at its next dispatch — this delay
@@ -295,6 +309,8 @@ impl Machine {
             KWork::TlbFlush { sd } => {
                 let complete = self.vms[vmi].kernel.shootdowns.ack(sd, vcpu.idx);
                 if complete {
+                    // Unreachable expect: `ack` just returned true for this
+                    // id, and only `finish` below removes table entries.
                     let info = self.vms[vmi]
                         .kernel
                         .shootdowns
@@ -329,6 +345,8 @@ impl Machine {
                         Activity::ReschedWait { token: t, .. } if t == token
                     );
                     if waiting {
+                        // Unreachable expect: the variant carries a task by
+                        // construction (`matches!` above pinned it).
                         let task = self
                             .vcpu(wid)
                             .ctx
@@ -516,10 +534,14 @@ impl Machine {
                 }
             }
         }
-        panic!(
-            "task {} of {} emitted {STEP_GUARD} zero-time segments in a row",
-            task, vcpu.vm
-        );
+        // Same poisoning as the step guard: a program emitting unbounded
+        // zero-time segments is a workload bug, not a process-fatal one.
+        self.fail(SimError::SegmentGuard {
+            at: self.now,
+            vm: vcpu.vm,
+            task,
+        });
+        self.vcpus[vmi][vi].ctx.activity = Activity::Idle;
     }
 
     /// Executes a `Wake` segment: marks the target ready and, if it lives

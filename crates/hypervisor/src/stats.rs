@@ -70,6 +70,12 @@ pub struct MachineStats {
     /// Global event counters. Well-known keys: `ple_exits`, `ipi_yields`,
     /// `virqs`, `resched_ipis`, `tlb_shootdowns`, `ctx_switches`,
     /// `micro_migrations`, `boosts`, `steals`, `preemptions`.
+    ///
+    /// Robustness keys (absent unless the feature is engaged, so the
+    /// default counter fingerprint is unchanged): `faults_planned`,
+    /// `faults_injected`, `fault_ipi_delay`, `fault_drop_kicks`,
+    /// `fault_dropped_kicks`, `fault_spurious_kick`, `fault_stolen_time`,
+    /// `fault_zero_burst`, `invariant_checks`, `sim_errors`.
     pub counters: CounterSet,
     /// Per-VM statistics, indexed by VM id.
     pub per_vm: Vec<VmStats>,

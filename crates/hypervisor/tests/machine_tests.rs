@@ -40,6 +40,7 @@ fn single_task_finishes_with_small_overhead() {
     let mut m = Machine::new(cfg, vec![spec], Box::new(BaselinePolicy));
     let fin = m
         .run_until_vm_finished(VmId(0), SimTime::from_secs(1))
+        .unwrap()
         .expect("should finish");
     // 100 × 100 µs = 10 ms of work; overheads must stay tiny.
     assert!(fin >= SimTime::from_millis(10));
@@ -56,7 +57,7 @@ fn determinism_same_seed_same_trace() {
             VmSpec::new("b", 4).task_per_vcpu(|_| compute_prog(50, 200)),
         ];
         let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
-        m.run_until(SimTime::from_millis(500));
+        m.run_until(SimTime::from_millis(500)).unwrap();
         (
             m.vm_work_done(VmId(0)),
             m.vm_work_done(VmId(1)),
@@ -75,7 +76,7 @@ fn overcommit_shares_cpu_roughly_fairly() {
         VmSpec::new("b", 2).task_per_vcpu(|_| hog_prog()),
     ];
     let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_secs(2));
+    m.run_until(SimTime::from_secs(2)).unwrap();
     let a = m.stats.vm(VmId(0)).cpu_time.as_millis_f64();
     let b = m.stats.vm(VmId(1)).cpu_time.as_millis_f64();
     let total = a + b;
@@ -110,6 +111,7 @@ fn lock_contention_produces_ple_yields_and_waits() {
     let specs = vec![VmSpec::new("lockers", 4).task_per_vcpu(make)];
     let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
     m.run_until_vm_finished(VmId(0), SimTime::from_secs(5))
+        .unwrap()
         .expect("finishes");
     let vm = m.vm(VmId(0));
     let h = vm.kernel.lock_wait_of(LockKind::PageAlloc);
@@ -146,7 +148,7 @@ fn lock_holder_preemption_emerges_under_overcommit() {
         VmSpec::new("hog", 2).task_per_vcpu(|_| hog_prog()),
     ];
     let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_secs(2));
+    m.run_until(SimTime::from_secs(2)).unwrap();
     let h = m.vm(VmId(0)).kernel.lock_wait_of(LockKind::PageAlloc);
     assert!(h.count() > 100);
     // Lock-holder preemption: the worst wait spans at least one
@@ -186,6 +188,7 @@ fn tlb_shootdown_completes_solo_quickly() {
     let specs = vec![VmSpec::new("dedup-ish", 4).task_per_vcpu(make)];
     let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
     m.run_until_vm_finished(VmId(0), SimTime::from_secs(5))
+        .unwrap()
         .expect("finishes");
     let vm = m.vm(VmId(0));
     assert_eq!(vm.kernel.shootdowns.completed, 50);
@@ -224,7 +227,7 @@ fn tlb_shootdown_straggles_under_overcommit() {
         VmSpec::new("hog", 4).task_per_vcpu(|_| hog_prog()),
     ];
     let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_secs(2));
+    m.run_until(SimTime::from_secs(2)).unwrap();
     let vm = m.vm(VmId(0));
     assert!(vm.kernel.tlb_latency.count() > 10);
     assert!(
@@ -274,7 +277,7 @@ fn wake_and_block_roundtrip_across_vcpus() {
         .task(0, Box::new(producer))
         .task(1, Box::new(consumer));
     let mut m = Machine::new(cfg, vec![spec], Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_millis(100));
+    m.run_until(SimTime::from_millis(100)).unwrap();
     // Every wake should have produced one consumer work unit.
     let done = m.vm(VmId(0)).tasks[1].work_done;
     assert!(
@@ -301,7 +304,7 @@ fn iperf_solo_reaches_near_line_rate_with_low_jitter() {
         .task(0, Box::new(server))
         .flow(guest::net::FlowCfg::tcp_1g(0, 0));
     let mut m = Machine::new(cfg, vec![spec], Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_secs(1));
+    m.run_until(SimTime::from_secs(1)).unwrap();
     let flow = &m.vm(VmId(0)).kernel.flows[0];
     let mbps = flow.throughput_mbps(m.now());
     assert!(
@@ -339,7 +342,7 @@ fn mixed_vcpu_degrades_iperf_like_the_paper() {
         .task(0, hog_prog())
         .pin(0, vec![PcpuId(0)]);
     let mut m = Machine::new(cfg, vec![vm1, vm2], Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_secs(2));
+    m.run_until(SimTime::from_secs(2)).unwrap();
     let flow = &m.vm(VmId(0)).kernel.flows[0];
     let mbps = flow.throughput_mbps(m.now());
     assert!(
@@ -361,7 +364,7 @@ fn micro_pool_resize_and_accelerate() {
         VmSpec::new("b", 4).task_per_vcpu(|_| hog_prog()),
     ];
     let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_millis(50));
+    m.run_until(SimTime::from_millis(50)).unwrap();
     assert_eq!(m.micro_cores(), 0);
     assert!(!m.micro_slot_available());
     m.set_micro_cores(2);
@@ -378,7 +381,7 @@ fn micro_pool_resize_and_accelerate() {
     assert!(!preempted.is_empty(), "overcommit leaves someone waiting");
     assert!(m.try_accelerate(preempted[0]));
     assert!(!m.try_accelerate(preempted[0]), "already accelerated");
-    m.run_until(SimTime::from_millis(60));
+    m.run_until(SimTime::from_millis(60)).unwrap();
     // After its 0.1 ms slice the vCPU must be back in the normal pool.
     assert_eq!(
         m.vcpu(preempted[0]).pool,
@@ -389,7 +392,7 @@ fn micro_pool_resize_and_accelerate() {
     // Shrink back.
     m.set_micro_cores(0);
     assert_eq!(m.micro_cores(), 0);
-    m.run_until(SimTime::from_millis(100));
+    m.run_until(SimTime::from_millis(100)).unwrap();
 }
 
 #[test]
@@ -412,7 +415,7 @@ fn ip_of_running_vcpus_resolves_via_symbol_table() {
     };
     let specs = vec![VmSpec::new("lockers", 2).task_per_vcpu(make)];
     let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_millis(5));
+    m.run_until(SimTime::from_millis(5)).unwrap();
     let wl = ksym::Whitelist::linux44();
     let mut saw_critical = false;
     for v in m.siblings(VmId(0)) {
@@ -436,7 +439,7 @@ fn halted_vm_consumes_no_cpu() {
         VmSpec::new("hog", 1).task(0, hog_prog()),
     ];
     let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_secs(1));
+    m.run_until(SimTime::from_secs(1)).unwrap();
     assert!(m.vm_finished_at(VmId(0)).is_some());
     let quick = m.stats.vm(VmId(0)).cpu_time;
     assert!(quick < SimDuration::from_millis(5), "quick used {quick}");
@@ -467,7 +470,7 @@ fn scripted_rng_programs_work() {
         let cfg = MachineConfig::small(2).with_seed(5);
         let specs = vec![VmSpec::new("r", 2).task_per_vcpu(|_| Box::new(RandomWork))];
         let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
-        m.run_until(SimTime::from_millis(200));
+        m.run_until(SimTime::from_millis(200)).unwrap();
         m.vm_work_done(VmId(0))
     };
     let a = run();

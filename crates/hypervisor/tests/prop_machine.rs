@@ -87,7 +87,7 @@ proptest! {
         };
         let mut m = Machine::new(cfg, vec![mk(vcpus_a), mk(vcpus_b)], policy);
         let window = SimDuration::from_millis(300);
-        m.run_until(SimTime::ZERO + window);
+        m.run_until(SimTime::ZERO + window).unwrap();
 
         // Both VMs made progress.
         prop_assert!(m.vm_work_done(VmId(0)) > 0);

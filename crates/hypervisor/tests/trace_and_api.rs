@@ -28,11 +28,11 @@ fn overcommitted(pcpus: u16) -> Machine {
 #[test]
 fn trace_is_disabled_by_default_and_records_when_enabled() {
     let mut m = overcommitted(2);
-    m.run_until(SimTime::from_millis(100));
+    m.run_until(SimTime::from_millis(100)).unwrap();
     assert!(m.trace().is_empty(), "tracing must default off");
 
     m.enable_trace(4096);
-    m.run_until(SimTime::from_millis(400));
+    m.run_until(SimTime::from_millis(400)).unwrap();
     let dispatches = m
         .trace()
         .iter()
@@ -79,7 +79,7 @@ fn sticky_micro_residents_stay_until_unpinned() {
     m.set_micro_cores(1);
     let v = VcpuId::new(VmId(0), 0);
     // Find it off-CPU, pin it sticky, and accelerate it.
-    m.run_until(SimTime::from_millis(50));
+    m.run_until(SimTime::from_millis(50)).unwrap();
     let target = m
         .siblings(VmId(0))
         .into_iter()
@@ -88,7 +88,7 @@ fn sticky_micro_residents_stay_until_unpinned() {
     m.set_sticky_micro(target, true);
     assert!(m.try_accelerate(target) || m.vcpu(target).pool == PoolId::Micro);
     // Many slices later it still lives in the micro pool.
-    m.run_until(SimTime::from_millis(120));
+    m.run_until(SimTime::from_millis(120)).unwrap();
     assert_eq!(
         m.vcpu(target).pool,
         PoolId::Micro,
@@ -96,7 +96,7 @@ fn sticky_micro_residents_stay_until_unpinned() {
     );
     // Unpin: it returns to the normal pool.
     m.set_sticky_micro(target, false);
-    m.run_until(SimTime::from_millis(180));
+    m.run_until(SimTime::from_millis(180)).unwrap();
     assert_eq!(m.vcpu(target).pool, PoolId::Normal);
 }
 
@@ -104,7 +104,7 @@ fn sticky_micro_residents_stay_until_unpinned() {
 fn resize_to_zero_evicts_everyone() {
     let mut m = overcommitted(4);
     m.set_micro_cores(2);
-    m.run_until(SimTime::from_millis(40));
+    m.run_until(SimTime::from_millis(40)).unwrap();
     let victims: Vec<VcpuId> = m
         .siblings(VmId(1))
         .into_iter()
@@ -122,7 +122,7 @@ fn resize_to_zero_evicts_everyone() {
         }
     }
     // The machine keeps running fine afterwards.
-    m.run_until(SimTime::from_millis(120));
+    m.run_until(SimTime::from_millis(120)).unwrap();
     assert!(m.stats.vm(VmId(0)).cpu_time > SimDuration::from_millis(50));
 }
 
@@ -130,7 +130,7 @@ fn resize_to_zero_evicts_everyone() {
 fn request_acceleration_of_running_vcpu_defers_to_deschedule() {
     let mut m = overcommitted(2);
     m.set_micro_cores(1);
-    m.run_until(SimTime::from_millis(20));
+    m.run_until(SimTime::from_millis(20)).unwrap();
     let running = m
         .siblings(VmId(0))
         .into_iter()
@@ -145,6 +145,6 @@ fn request_acceleration_of_running_vcpu_defers_to_deschedule() {
     );
     // After its slice ends it lands in the micro pool (then is evicted on
     // the next deschedule, so check the migration counter instead).
-    m.run_until(SimTime::from_millis(80));
+    m.run_until(SimTime::from_millis(80)).unwrap();
     assert!(m.stats.counters.get("micro_migrations") >= 1);
 }

@@ -62,9 +62,12 @@ impl HeapEntry {
 }
 
 /// A payload slot. `payload == None` means the event was cancelled (its
-/// heap entry is still in flight) or the slot is free.
+/// heap entry is still in flight) or the slot is free. The firing time is
+/// mirrored here (not only in the heap entry) so non-mutating iteration
+/// never has to disambiguate stale heap entries from recycled slots.
 struct Slot<E> {
     gen: u32,
+    at: SimTime,
     payload: Option<E>,
 }
 
@@ -123,6 +126,7 @@ impl<E> EventQueue<E> {
             Some(i) => {
                 let s = &mut self.slots[i as usize];
                 debug_assert!(s.payload.is_none());
+                s.at = at;
                 s.payload = Some(payload);
                 i
             }
@@ -131,6 +135,7 @@ impl<E> EventQueue<E> {
                 assert!(i < u32::MAX, "event queue slot space exhausted");
                 self.slots.push(Slot {
                     gen: 0,
+                    at,
                     payload: Some(payload),
                 });
                 i
@@ -207,6 +212,17 @@ impl<E> EventQueue<E> {
             let top = self.pop_entry().expect("non-empty");
             self.release(top.slot);
         }
+    }
+
+    /// Iterates over all pending events in unspecified order.
+    ///
+    /// Cancelled events never appear. Intended for validation passes
+    /// (e.g. "no pending event fires in the past"), not for dispatch —
+    /// the order is slab order, not firing order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.payload.as_ref().map(|p| (s.at, p)))
     }
 
     /// Number of pending (non-cancelled) events.
@@ -393,6 +409,29 @@ mod tests {
             Some((SimTime::from_micros(3), 'c'))
         );
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn iter_sees_live_events_only() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_micros(1), 'a');
+        q.push(SimTime::from_micros(2), 'b');
+        q.push(SimTime::from_micros(3), 'c');
+        q.cancel(a);
+        // Recycle a's slot at a different time: the stale heap entry must
+        // not resurface the old timestamp through iteration.
+        assert_eq!(q.pop(), Some((SimTime::from_micros(2), 'b')));
+        q.push(SimTime::from_micros(9), 'd');
+        let mut seen: Vec<(SimTime, char)> = q.iter().map(|(t, &e)| (t, e)).collect();
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![
+                (SimTime::from_micros(3), 'c'),
+                (SimTime::from_micros(9), 'd'),
+            ]
+        );
+        assert_eq!(q.iter().count(), q.len());
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn solo_run(w: Workload) -> Machine {
     let n = cfg.num_pcpus;
     let specs = vec![scenarios::vm_with_iters(w, n, None)];
     let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_secs(1));
+    m.run_until(SimTime::from_secs(1)).unwrap();
     m
 }
 
@@ -136,6 +136,7 @@ fn solo_executions_fit_the_experiment_horizon() {
         let mut m = Machine::new(cfg, specs, Box::new(BaselinePolicy));
         let fin = m
             .run_until_vm_finished(VmId(0), SimTime::from_secs(30))
+            .unwrap()
             .unwrap_or_else(|| panic!("{} did not finish solo in 30 s", w.name()));
         assert!(
             fin < SimTime::from_secs(10),
@@ -168,7 +169,7 @@ fn solo_kernel_time_shares_match_characterization() {
 fn iperf_solo_is_near_line_rate() {
     let (cfg, specs) = scenarios::iperf_solo(true);
     let mut m = Machine::new(cfg.with_seed(5), specs, Box::new(BaselinePolicy));
-    m.run_until(SimTime::from_secs(1));
+    m.run_until(SimTime::from_secs(1)).unwrap();
     let flow = &m.vm(VmId(0)).kernel.flows[0];
     let mbps = flow.throughput_mbps(m.now());
     assert!(

@@ -32,7 +32,7 @@ fn main() {
     println!("t (ms)  micro-cores  dedup-work  ipi-yields  ple-exits  migrations");
     let mut last_work = 0;
     for step in 1..=40u64 {
-        machine.run_until(SimTime::from_millis(step * 150));
+        machine.run_until(SimTime::from_millis(step * 150)).unwrap();
         let work = machine.vm_work_done(VmId(0));
         println!(
             "{:>6}  {:>11}  {:>10}  {:>10}  {:>9}  {:>10}",

@@ -49,7 +49,7 @@ fn main() {
         println!("{:<10} {:>14} {:>18}", "config", "units/s", "improvement");
         let mut base = None;
         for p in configs {
-            let cell = fig5::run_one(&opts, w, p);
+            let cell = fig5::run_one(&opts, w, p).unwrap();
             let b = *base.get_or_insert(cell.throughput);
             println!(
                 "{:<10} {:>14.0} {:>17.2}x",
@@ -62,7 +62,7 @@ fn main() {
         println!("{:<10} {:>12} {:>16}", "config", "exec (s)", "normalized");
         let mut base = None;
         for p in configs {
-            let cell = fig4::run_one(&opts, w, p);
+            let cell = fig4::run_one(&opts, w, p).unwrap();
             let b = *base.get_or_insert(cell.target_secs);
             println!(
                 "{:<10} {:>12.2} {:>16.3}",

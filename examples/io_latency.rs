@@ -20,7 +20,7 @@ use workloads::scenarios;
 fn run(policy: Box<dyn SchedPolicy>, label: &str, tcp: bool) {
     let (cfg, specs) = scenarios::fig9_mixed_pinned(tcp);
     let mut machine = Machine::new(cfg, specs, policy);
-    machine.run_until(SimTime::from_secs(3));
+    machine.run_until(SimTime::from_secs(3)).unwrap();
     let flow = &machine.vm(VmId(0)).kernel.flows[0];
     println!(
         "{label:<22} {:>4}  bandwidth {:>7.1} Mbit/s   jitter {:>7.3} ms   p99 latency {}   drops {}",

@@ -29,6 +29,7 @@ fn run(policy: Box<dyn SchedPolicy>, label: &str) -> f64 {
     let mut machine = Machine::new(cfg, specs, policy);
     let finished = machine
         .run_until_vm_finished(VmId(0), SimTime::from_secs(120))
+        .expect("simulation stays healthy")
         .expect("gmake finishes");
     let secs = finished.as_secs_f64();
 

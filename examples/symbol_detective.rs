@@ -26,7 +26,9 @@ fn main() {
 
     println!("Sampling vCPU instruction pointers of the gmake VM:\n");
     for sample in 1..=5u64 {
-        machine.run_until(SimTime::from_millis(sample * 100));
+        machine
+            .run_until(SimTime::from_millis(sample * 100))
+            .unwrap();
         println!("t = {} ms", sample * 100);
         for vcpu in machine.siblings(VmId(0)) {
             let ip = machine.vcpu_ip(vcpu);

@@ -19,4 +19,14 @@ cargo test -q
 echo "== repro all --quick --jobs 2 ==" >&2
 cargo run --release -p experiments --bin repro -- --quick --jobs 2 all > /dev/null
 
+echo "== fault-fuzz smoke (fixed seeds) ==" >&2
+# The 100-plan property harness plus the empty-plan byte-identity check;
+# the vendored proptest stub seeds deterministically, so this is a fixed
+# fault-fuzz corpus, not a flaky random one.
+cargo test --release -p experiments --test fault_injection -q
+
+echo "== paranoid quick repro under injected faults ==" >&2
+cargo run --release -p experiments --bin repro -- --quick --paranoid \
+    --faults count=24,window_ms=300 --keep-going fig9 table2 > /dev/null
+
 echo "CI OK" >&2

@@ -20,7 +20,7 @@ fn fingerprint(seed: u64, policy: PolicyKind) -> (u64, u64, u64, u64, String) {
         scenarios::vm_with_iters(Workload::Swaptions, n, None),
     ];
     let mut m = build(&opts, (cfg, specs), policy);
-    m.run_until(SimTime::from_millis(700));
+    m.run_until(SimTime::from_millis(700)).unwrap();
     (
         m.vm_work_done(VmId(0)),
         m.vm_work_done(VmId(1)),
@@ -64,14 +64,18 @@ fn policy_changes_the_trace() {
     assert_ne!(base, fast, "the policy had no observable effect");
 }
 
-/// Renders one experiment to its CSV bytes under a given job count.
-fn render(id: &str, jobs: usize) -> String {
-    let opts = RunOptions::quick().with_jobs(jobs);
-    experiments::run_experiment(id, &opts)
+/// Renders one experiment to its CSV bytes under the given options.
+fn render_with(opts: &RunOptions, id: &str) -> String {
+    experiments::run_experiment(id, opts)
         .unwrap_or_else(|| panic!("unknown experiment {id}"))
         .iter()
         .map(|t| t.render_csv())
         .collect()
+}
+
+/// Renders one experiment to its CSV bytes under a given job count.
+fn render(id: &str, jobs: usize) -> String {
+    render_with(&RunOptions::quick().with_jobs(jobs), id)
 }
 
 /// A cheap always-on guard: the fastest experiment must render the same
@@ -81,6 +85,47 @@ fn parallel_jobs_byte_identical_fig9() {
     let serial = render("fig9", 1);
     assert_eq!(serial, render("fig9", 2), "fig9: --jobs 2 diverged");
     assert_eq!(serial, render("fig9", 7), "fig9: --jobs 7 diverged");
+}
+
+/// Paranoid mode adds invariant sweeps on every accounting tick but must
+/// observe, never perturb: the rendered bytes stay identical to a normal
+/// run, and identical across job counts.
+#[test]
+fn paranoid_mode_does_not_perturb_rendered_bytes() {
+    let paranoid = RunOptions {
+        paranoid: true,
+        ..RunOptions::quick()
+    };
+    let serial = render_with(&paranoid.with_jobs(1), "fig9");
+    assert_eq!(
+        serial,
+        render_with(&paranoid.with_jobs(3), "fig9"),
+        "fig9: paranoid --jobs 3 diverged"
+    );
+    assert_eq!(
+        serial,
+        render("fig9", 1),
+        "paranoid mode changed the rendered bytes"
+    );
+}
+
+/// A fixed fault plan is part of the deterministic input: the same
+/// `--faults` spec must render the same bytes regardless of `--jobs`.
+#[test]
+fn faulted_runs_byte_identical_across_jobs() {
+    let spec = hypervisor::FaultSpec::parse("count=16,window_ms=200").unwrap();
+    let opts = RunOptions {
+        faults: Some(spec),
+        paranoid: true,
+        keep_going: true,
+        ..RunOptions::quick()
+    };
+    let serial = render_with(&opts.with_jobs(1), "fig9");
+    assert_eq!(
+        serial,
+        render_with(&opts.with_jobs(2), "fig9"),
+        "fig9: --faults run diverged under --jobs 2"
+    );
 }
 
 /// The full contract from the issue: every experiment, quick mode, must

@@ -37,7 +37,8 @@ fn every_workload_pair_completes_or_progresses() {
                 scenarios::vm_with_iters(w, n, None),
                 scenarios::vm_with_iters(Workload::Swaptions, n, None),
             ];
-            let m = run_window(&opts(), (cfg, specs), policy, SimDuration::from_millis(400));
+            let m =
+                run_window(&opts(), (cfg, specs), policy, SimDuration::from_millis(400)).unwrap();
             assert!(
                 m.vm_work_done(VmId(0)) > 0,
                 "{} made no progress under {policy:?}",
@@ -61,7 +62,7 @@ fn work_conservation_across_policies() {
             scenarios::vm_with_iters(Workload::Swaptions, n, None),
         ];
         let window = SimDuration::from_secs(1);
-        let m = run_window(&opts(), (cfg, specs), policy, window);
+        let m = run_window(&opts(), (cfg, specs), policy, window).unwrap();
         let used = m.stats.vm(VmId(0)).cpu_time + m.stats.vm(VmId(1)).cpu_time;
         let capacity = window * 12;
         let utilization = used.as_secs_f64() / capacity.as_secs_f64();
@@ -86,7 +87,7 @@ fn micro_pool_never_retains_vcpus_after_calm() {
         scenarios::vm_with_iters(Workload::Swaptions, n, Some(300)),
     ];
     let mut m = build(&opts(), (cfg, specs), PolicyKind::Fixed(2));
-    assert!(m.run_until_all_finished(SimTime::from_secs(60)));
+    assert!(m.run_until_all_finished(SimTime::from_secs(60)).unwrap());
     assert!(
         m.stats.counters.get("micro_migrations") > 0,
         "policy never engaged"
@@ -115,7 +116,8 @@ fn lock_statistics_are_consistent() {
         (cfg, specs),
         PolicyKind::Baseline,
         SimDuration::from_secs(1),
-    );
+    )
+    .unwrap();
     let kernel = &m.vm(VmId(0)).kernel;
     // Every lock ends the run free or held by a live vCPU; acquisition
     // counters are self-consistent.
@@ -145,7 +147,7 @@ fn tlb_protocol_leaves_no_dangling_shootdowns() {
         scenarios::vm_with_iters(Workload::Swaptions, n, Some(300)),
     ];
     let mut m = build(&opts(), (cfg, specs), PolicyKind::Fixed(3));
-    assert!(m.run_until_all_finished(SimTime::from_secs(120)));
+    assert!(m.run_until_all_finished(SimTime::from_secs(120)).unwrap());
     let kernel = &m.vm(VmId(0)).kernel;
     assert_eq!(
         kernel.shootdowns.inflight_count(),
@@ -169,7 +171,7 @@ fn policies_do_not_change_total_guest_work() {
             scenarios::vm_with_iters(Workload::Swaptions, n, Some(200)),
         ];
         let mut m = build(&opts(), (cfg, specs), policy);
-        assert!(m.run_until_all_finished(SimTime::from_secs(60)));
+        assert!(m.run_until_all_finished(SimTime::from_secs(60)).unwrap());
         (m.vm_work_done(VmId(0)), m.vm_work_done(VmId(1)))
     };
     let a = total(PolicyKind::Baseline);
@@ -184,7 +186,7 @@ fn policies_do_not_change_total_guest_work() {
 fn iperf_flow_accounting_balances() {
     let (cfg, specs) = scenarios::fig9_mixed_pinned(false);
     let mut m = build(&opts(), (cfg, specs), PolicyKind::Baseline);
-    m.run_until(SimTime::from_secs(1));
+    m.run_until(SimTime::from_secs(1)).unwrap();
     let flow = &m.vm(VmId(0)).kernel.flows[0];
     // Delivered + dropped + still-queued accounts for every arrival the
     // NIC accepted; nothing is double-counted or lost.

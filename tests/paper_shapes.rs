@@ -19,8 +19,8 @@ fn lock_bound_pair_improves_with_one_micro_core() {
     // memclone (Figure 4, left half): a single micro-sliced core must
     // shorten the target's execution time substantially. (gmake shows
     // the direction only at the full budget.)
-    let base = fig4::run_one(&opts(), Workload::Memclone, PolicyKind::Baseline);
-    let one = fig4::run_one(&opts(), Workload::Memclone, PolicyKind::Fixed(1));
+    let base = fig4::run_one(&opts(), Workload::Memclone, PolicyKind::Baseline).unwrap();
+    let one = fig4::run_one(&opts(), Workload::Memclone, PolicyKind::Fixed(1)).unwrap();
     assert!(
         one.target_secs < base.target_secs * 0.7,
         "memclone: {} vs baseline {}",
@@ -39,7 +39,7 @@ fn tlb_bound_pairs_prefer_multiple_micro_cores() {
     // wants 2–3 micro cores; more cores must not beat the 2–3 sweet spot
     // by much, and 6 cores must be clearly worse than the best.
     let cells = fig4::sweep(&opts(), Workload::Dedup);
-    let t = |i: usize| cells[i].target_secs;
+    let t = |i: usize| cells[i].as_ref().unwrap().target_secs;
     let best = (1..=6).map(t).fold(f64::INFINITY, f64::min);
     assert!(best < t(0) * 0.8, "micro-slicing should help dedup");
     let best23 = t(2).min(t(3));
@@ -56,8 +56,8 @@ fn tlb_bound_pairs_prefer_multiple_micro_cores() {
 
 #[test]
 fn exim_throughput_improves_substantially() {
-    let base = fig5::run_one(&opts(), Workload::Exim, PolicyKind::Baseline);
-    let one = fig5::run_one(&opts(), Workload::Exim, PolicyKind::Fixed(1));
+    let base = fig5::run_one(&opts(), Workload::Exim, PolicyKind::Baseline).unwrap();
+    let one = fig5::run_one(&opts(), Workload::Exim, PolicyKind::Fixed(1)).unwrap();
     let improvement = one.throughput / base.throughput;
     assert!(
         improvement > 1.12,
@@ -82,7 +82,7 @@ fn spinlock_waits_collapse_under_acceleration() {
             scenarios::vm_with_iters(Workload::Exim, n, None),
             scenarios::vm_with_iters(Workload::Swaptions, n, None),
         ];
-        let m = run_window(&opts(), (cfg, specs), policy, SimDuration::from_secs(1));
+        let m = run_window(&opts(), (cfg, specs), policy, SimDuration::from_secs(1)).unwrap();
         m.vm(VmId(0))
             .kernel
             .lock_wait_of(LockKind::PageAlloc)
@@ -99,8 +99,8 @@ fn spinlock_waits_collapse_under_acceleration() {
 
 #[test]
 fn mixed_vcpu_io_restored_by_microslicing() {
-    let base = fig9::measure_one(&opts(), true, PolicyKind::Baseline);
-    let fast = fig9::measure_one(&opts(), true, PolicyKind::Fixed(1));
+    let base = fig9::measure_one(&opts(), true, PolicyKind::Baseline).unwrap();
+    let fast = fig9::measure_one(&opts(), true, PolicyKind::Fixed(1)).unwrap();
     assert!(fast.bandwidth_mbps > base.bandwidth_mbps * 1.1);
     assert!(fast.jitter_ms < base.jitter_ms * 0.3);
 }
@@ -110,8 +110,8 @@ fn table4_magnitudes_track_the_paper() {
     // Table 4b: co-run TLB latency in the milliseconds (paper: 6.4 ms for
     // dedup) while solo stays in the microseconds (paper: 28 µs).
     let rows = table4::measure_4b(&opts());
-    let (_, _, dedup_solo, _, _) = rows[0];
-    let (_, _, dedup_corun, _, _) = rows[1];
+    let (_, _, dedup_solo, _, _) = rows[0].clone().unwrap();
+    let (_, _, dedup_corun, _, _) = rows[1].clone().unwrap();
     assert!(dedup_solo < 100.0, "dedup solo avg {dedup_solo}us");
     assert!(
         dedup_corun > 500.0,
@@ -119,8 +119,8 @@ fn table4_magnitudes_track_the_paper() {
     );
     // Table 4c: solo jitter ~µs, mixed co-run jitter ~ms.
     let rows = table4::measure_4c(&opts());
-    let (_, solo_jitter, solo_tput) = rows[0];
-    let (_, mixed_jitter, mixed_tput) = rows[1];
+    let (_, solo_jitter, solo_tput) = rows[0].clone().unwrap();
+    let (_, mixed_jitter, mixed_tput) = rows[1].clone().unwrap();
     assert!(solo_jitter < 0.1 && mixed_jitter > 2.0);
     assert!(solo_tput > 900.0, "solo near line rate, got {solo_tput}");
     assert!(mixed_tput < solo_tput * 0.75);

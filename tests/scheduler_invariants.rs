@@ -112,7 +112,7 @@ fn check_invariants(label: &str, m: &Machine) {
 fn invariants_hold_under_dense_sampling() {
     for (label, mut m) in machines() {
         for step in 1..=600u64 {
-            m.run_until(SimTime::from_micros(step * 1_000));
+            m.run_until(SimTime::from_micros(step * 1_000)).unwrap();
             check_invariants(label, &m);
         }
     }
@@ -124,7 +124,7 @@ fn pinned_vcpus_never_leave_their_pcpu_in_the_normal_pool() {
     let (cfg, specs) = scenarios::fig9_mixed_pinned(true);
     let mut m = build(&opts, (cfg, specs), PolicyKind::Fixed(1));
     for step in 1..=400u64 {
-        m.run_until(SimTime::from_micros(step * 2_500));
+        m.run_until(SimTime::from_micros(step * 2_500)).unwrap();
         for vm in 0..2u16 {
             let v = VcpuId::new(VmId(vm), 0);
             let vc = m.vcpu(v);
@@ -147,7 +147,7 @@ fn micro_pool_empties_when_policy_is_baseline() {
         scenarios::vm_with_iters(Workload::Swaptions, n, None),
     ];
     let mut m = build(&opts, (cfg, specs), PolicyKind::Baseline);
-    m.run_until(SimTime::from_millis(300));
+    m.run_until(SimTime::from_millis(300)).unwrap();
     assert_eq!(m.micro_cores(), 0);
     assert_eq!(m.stats.counters.get("micro_migrations"), 0);
     for v in all_vcpus(&m) {
