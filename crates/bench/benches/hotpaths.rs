@@ -90,6 +90,70 @@ fn bench_parallel_fanout(c: &mut Criterion) {
     });
 }
 
+/// The scheduler's run-queue inner loop: enqueue a small wave of
+/// waiters, refresh their priorities from live values (the dense-key
+/// rewrite + stable reorder), probe the head, and dispatch-pop — the
+/// exact sequence `machine/sched.rs` drives on every slice boundary.
+fn bench_runq_dispatch_scan(c: &mut Criterion) {
+    use hypervisor::pcpu::Pcpu;
+    use hypervisor::Prio;
+    use simcore::ids::{PcpuId, VcpuId, VmId};
+
+    let prios = [Prio::Under, Prio::Over, Prio::Boost, Prio::Under];
+    c.bench_function("runq_dispatch_scan", |b| {
+        b.iter(|| {
+            let mut p = Pcpu::new(PcpuId(0));
+            let mut dispatched = 0u64;
+            for round in 0..1_000u64 {
+                for i in 0..8u16 {
+                    p.enqueue(
+                        VcpuId::new(VmId(i % 2), i),
+                        prios[(round as usize + i as usize) % prios.len()],
+                    );
+                }
+                // Credit tick: every queued priority re-read from the
+                // live value, order restored.
+                p.refresh_with(|v| prios[(v.idx as usize + round as usize) % prios.len()]);
+                while let Some(entry) = p.pop() {
+                    dispatched += u64::from(entry.vcpu.idx) + entry.prio.rank() as u64;
+                }
+            }
+            std::hint::black_box(dispatched)
+        })
+    });
+}
+
+/// The guest step path's segment supply: 1k segments pulled through the
+/// flattened program arena (cursor reads + occasional batched refill),
+/// as `machine/step.rs` consumes them.
+fn bench_segment_step(c: &mut Criterion) {
+    use guest::Task;
+    use simcore::ids::{TaskId, VmId};
+
+    c.bench_function("segment_step_1k", |b| {
+        b.iter(|| {
+            let mut task = Task::new(
+                TaskId::new(VmId(0), 0),
+                0,
+                Workload::Exim.program(0, 4),
+                SimRng::new(0xBEEF),
+            );
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(match task.next_segment() {
+                    guest::Segment::User { dur } => dur.as_nanos(),
+                    guest::Segment::WorkUnit => 1,
+                    other => {
+                        std::hint::black_box(&other);
+                        2
+                    }
+                });
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
 fn bench_rng(c: &mut Criterion) {
     c.bench_function("rng_exp_durations_10k", |b| {
         let mut rng = SimRng::new(7);
@@ -175,6 +239,6 @@ fn bench_sim_second(c: &mut Criterion) {
 criterion_group! {
     name = hotpaths;
     config = sim_criterion();
-    targets = bench_event_queue, bench_event_queue_cancel, bench_parallel_fanout, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second
+    targets = bench_event_queue, bench_event_queue_cancel, bench_parallel_fanout, bench_runq_dispatch_scan, bench_segment_step, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second
 }
 criterion_main!(hotpaths);

@@ -8,8 +8,13 @@
 //! ```
 //!
 //! `--jobs N` fans independent runs across N worker threads (default:
-//! available parallelism). Output is byte-identical for every N;
-//! `--jobs 1` also reproduces the serial execution order exactly.
+//! available parallelism). The budget is *global*: with several
+//! experiments (e.g. `repro all`) each experiment runs on its own driver
+//! thread and cells from different experiments overlap, but at most N
+//! simulations execute at once across the whole suite. Output is
+//! byte-identical for every N — results collect in index order and
+//! experiments print in command-line order; `--jobs 1` also reproduces
+//! the serial execution order exactly.
 //!
 //! `--faults SPEC` injects a deterministic fault plan into every run
 //! (SPEC like `seed=7,count=40` — see `hypervisor::FaultSpec`).
@@ -18,9 +23,12 @@
 //! (scenario, policy, seed) cell. `--paranoid` re-checks the machine
 //! invariants on every accounting tick.
 
+use experiments::runner::pool::{self, Budget};
 use experiments::{run_experiment, RunOptions, ALL_EXPERIMENTS};
 use hypervisor::FaultSpec;
-use std::time::Instant;
+use metrics::render::Table;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
@@ -81,23 +89,50 @@ fn main() {
     if ids.is_empty() {
         usage();
     }
-    for id in ids {
-        let started = Instant::now();
-        match run_experiment(&id, &opts) {
-            Some(tables) => {
-                for table in tables {
-                    if csv {
-                        print!("{}", table.render_csv());
-                    } else {
-                        println!("{}", table.render());
-                    }
-                }
-                eprintln!("[{id} done in {:.1?}]", started.elapsed());
-            }
-            None => {
-                eprintln!("unknown experiment {id:?}");
-                usage();
-            }
+    if let Some(bad) = ids
+        .iter()
+        .find(|id| !ALL_EXPERIMENTS.contains(&id.as_str()))
+    {
+        eprintln!("unknown experiment {bad:?}");
+        usage();
+    }
+    if opts.jobs > 1 && ids.len() > 1 {
+        // Cross-experiment fan-out: every experiment gets a driver
+        // thread, and one global budget of `--jobs` permits gates cell
+        // execution across all of them. Tables stream out strictly in
+        // command-line order, so stdout is byte-identical to the serial
+        // loop below.
+        let budget = Arc::new(Budget::new(opts.jobs));
+        pool::run_streamed(
+            ids.len(),
+            |i| {
+                let started = Instant::now();
+                let tables = pool::with_budget(&budget, || {
+                    run_experiment(&ids[i], &opts).expect("ids validated above")
+                });
+                (tables, started.elapsed())
+            },
+            |i, (tables, elapsed)| emit(&ids[i], tables, elapsed, csv),
+        );
+    } else {
+        for id in &ids {
+            let started = Instant::now();
+            let tables = run_experiment(id, &opts).expect("ids validated above");
+            emit(id, tables, started.elapsed(), csv);
         }
     }
+}
+
+/// Prints one experiment's tables to stdout and its timing to stderr —
+/// the single rendering path both the serial loop and the streamed
+/// fan-out go through, so their bytes cannot drift apart.
+fn emit(id: &str, tables: Vec<Table>, elapsed: Duration, csv: bool) {
+    for table in tables {
+        if csv {
+            print!("{}", table.render_csv());
+        } else {
+            println!("{}", table.render());
+        }
+    }
+    eprintln!("[{id} done in {elapsed:.1?}]");
 }

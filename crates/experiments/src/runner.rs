@@ -1,6 +1,7 @@
 //! Shared experiment machinery: policies, run options, and drivers.
 
 pub mod parallel;
+pub mod pool;
 
 use hypervisor::policy::SchedPolicy;
 use hypervisor::{BaselinePolicy, FaultSpec, Machine, MachineConfig, SimError, VmSpec};

@@ -25,7 +25,15 @@
 //! workers borrow the closure (and whatever options it captures) without
 //! `'static` bounds, and the `Machine`s live and die entirely inside one
 //! worker, so they need no `Send` bound.
+//!
+//! When several experiments run concurrently (`repro all`), the calling
+//! thread carries a global [`pool::Budget`](super::pool::Budget): each
+//! cell then also acquires a suite-wide permit before executing, so
+//! `--jobs` bounds concurrent simulations across *all* experiments, not
+//! per batch. Permits gate only *when* a cell runs — results stay a pure
+//! function of the index, and collection order is unchanged.
 
+use super::pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `f(0), f(1), …, f(n - 1)` across up to `jobs` worker threads and
@@ -48,8 +56,14 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let budget = pool::current_budget();
     if jobs <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                let _permit = budget.as_ref().map(|b| b.acquire());
+                f(i)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let workers = jobs.min(n);
@@ -63,6 +77,7 @@ where
                         if i >= n {
                             break;
                         }
+                        let _permit = budget.as_ref().map(|b| b.acquire());
                         out.push((i, f(i)));
                     }
                     out

@@ -1,0 +1,283 @@
+//! Cross-experiment fan-out: one global `--jobs` budget for the whole
+//! suite.
+//!
+//! [`parallel::run_indexed`](super::parallel::run_indexed) fans the cells
+//! of *one* experiment across workers. Driving `repro all` through it
+//! serially leaves a gap: the tail of each experiment idles most workers
+//! (grids rarely divide evenly), and single-cell batches hold the whole
+//! suite hostage. This module lifts the fan-out one level: every
+//! experiment runs on its own driver thread, and a single global
+//! [`Budget`] of `--jobs` permits gates *cell* execution across all of
+//! them — cells from different experiments overlap, but never more than
+//! `--jobs` simulations run at once.
+//!
+//! Determinism is untouched by construction. The budget only decides
+//! *when* a cell runs, never *what* it computes: each cell is a pure
+//! function of its grid index (see [`parallel`](super::parallel)), each
+//! batch still collects results in index order, and [`run_streamed`]
+//! commits whole experiments in submission order. `repro all --jobs N`
+//! is byte-identical on stdout for every `N`.
+//!
+//! The machinery is permit-based rather than a single type-erased job
+//! queue: experiment closures borrow their grids and options from the
+//! driver's stack, so handing them to long-lived pool workers would need
+//! `'static` erasure. Gating the existing scoped workers with a shared
+//! semaphore gives the same schedule envelope with no `unsafe` and no
+//! new dependencies.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A counting semaphore bounding how many experiment cells run at once
+/// across every in-flight experiment.
+#[derive(Debug)]
+pub struct Budget {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Budget {
+    /// A budget of `permits` concurrent cells. Zero is clamped to 1 (a
+    /// zero-permit budget would deadlock the first acquirer).
+    pub fn new(permits: usize) -> Self {
+        Budget {
+            permits: Mutex::new(permits.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, usize> {
+        // A panicking cell never holds this lock (permits are held across
+        // `f(i)`, the lock only around the counter update), so poison is
+        // spurious; recover rather than cascade.
+        self.permits
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Blocks until a permit is free and takes it. The permit returns to
+    /// the pool when the guard drops — including on unwind, so a
+    /// panicking cell cannot leak the suite's concurrency.
+    pub fn acquire(&self) -> BudgetGuard<'_> {
+        let mut permits = self.lock();
+        while *permits == 0 {
+            permits = self
+                .available
+                .wait(permits)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        *permits -= 1;
+        BudgetGuard { budget: self }
+    }
+}
+
+/// RAII permit from [`Budget::acquire`]; dropping it releases the permit.
+#[derive(Debug)]
+pub struct BudgetGuard<'a> {
+    budget: &'a Budget,
+}
+
+impl Drop for BudgetGuard<'_> {
+    fn drop(&mut self) {
+        *self.budget.lock() += 1;
+        self.budget.available.notify_one();
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Arc<Budget>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `budget` installed as this thread's active budget:
+/// every [`run_indexed`](super::parallel::run_indexed) batch started
+/// under it acquires a permit per cell instead of running unthrottled.
+/// The previous budget (normally none) is restored afterwards, even if
+/// `f` unwinds.
+pub fn with_budget<R>(budget: &Arc<Budget>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<Budget>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            ACTIVE.with(|slot| *slot.borrow_mut() = prev);
+        }
+    }
+    let prev = ACTIVE.with(|slot| slot.borrow_mut().replace(budget.clone()));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The budget installed on the calling thread, if any.
+pub fn current_budget() -> Option<Arc<Budget>> {
+    ACTIVE.with(|slot| slot.borrow().clone())
+}
+
+/// Drives `run(0), …, run(n - 1)` on one thread each, committing results
+/// on the calling thread strictly in index order — but *streamed*: index
+/// `i` is committed as soon as it and every earlier index have finished,
+/// not after the whole suite completes.
+///
+/// This is the `repro all` driver. `run(i)` executes experiment `i`
+/// (typically under [`with_budget`], so its cells share the global
+/// permit pool) and returns its rendered output; `commit(i, out)` prints
+/// it. Because commits happen on one thread in index order, interleaving
+/// worker completion in any order produces identical bytes.
+///
+/// Panics in any `run` propagate to the caller after the scope joins.
+pub fn run_streamed<T, F, C>(n: usize, run: F, mut commit: C)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T),
+{
+    if n <= 1 {
+        if n == 1 {
+            commit(0, run(0));
+        }
+        return;
+    }
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let tx = tx.clone();
+                let run = &run;
+                scope.spawn(move || {
+                    // A send error means the receiver side already
+                    // panicked; this driver's result is moot either way.
+                    let _ = tx.send((i, run(i)));
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut parked: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut next = 0;
+        for (i, out) in rx {
+            parked[i] = Some(out);
+            while next < n {
+                match parked[next].take() {
+                    Some(out) => {
+                        commit(next, out);
+                        next += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        // The channel drained, so every driver has finished (a panicking
+        // driver drops its sender during unwind, leaving a gap in
+        // `parked`); re-raise the first panic with its original payload.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn budget_caps_concurrency() {
+        let budget = Budget::new(2);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let _permit = budget.acquire();
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "budget of 2 admitted {} concurrent holders",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn budget_zero_is_clamped() {
+        let budget = Budget::new(0);
+        let _permit = budget.acquire(); // would deadlock without the clamp
+    }
+
+    #[test]
+    fn permit_released_on_unwind() {
+        let budget = Budget::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = budget.acquire();
+            panic!("cell failure");
+        }));
+        assert!(result.is_err());
+        let _permit = budget.acquire(); // leak would deadlock here
+    }
+
+    #[test]
+    fn with_budget_installs_and_restores() {
+        assert!(current_budget().is_none());
+        let budget = Arc::new(Budget::new(3));
+        with_budget(&budget, || {
+            let active = current_budget().expect("budget installed");
+            assert!(Arc::ptr_eq(&active, &budget));
+        });
+        assert!(current_budget().is_none());
+    }
+
+    #[test]
+    fn with_budget_restores_on_unwind() {
+        let budget = Arc::new(Budget::new(1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_budget(&budget, || panic!("driver failure"));
+        }));
+        assert!(result.is_err());
+        assert!(current_budget().is_none(), "TLS budget leaked past unwind");
+    }
+
+    #[test]
+    fn run_streamed_commits_in_index_order() {
+        let mut seen = Vec::new();
+        run_streamed(
+            16,
+            |i| {
+                // Finish in scrambled order: later indices return faster.
+                std::thread::sleep(std::time::Duration::from_micros(((16 - i) as u64) * 50));
+                i * 7
+            },
+            |i, v| seen.push((i, v)),
+        );
+        assert_eq!(seen, (0..16).map(|i| (i, i * 7)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_streamed_handles_empty_and_single() {
+        let mut seen = Vec::new();
+        run_streamed(0, |i| i, |i, v| seen.push((i, v)));
+        assert!(seen.is_empty());
+        run_streamed(1, |i| i + 41, |i, v| seen.push((i, v)));
+        assert_eq!(seen, vec![(0, 41)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "experiment 2 exploded")]
+    fn run_streamed_propagates_driver_panics() {
+        run_streamed(
+            4,
+            |i| {
+                if i == 2 {
+                    panic!("experiment 2 exploded");
+                }
+                i
+            },
+            |_, _| {},
+        );
+    }
+}

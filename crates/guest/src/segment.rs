@@ -10,7 +10,11 @@ use simcore::rng::SimRng;
 use simcore::time::SimDuration;
 
 /// One step of guest-task execution.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Copy`: segments are plain value records (durations, small ints,
+/// `&'static str` symbol names), which is what lets [`FlatProgram`] hand
+/// them out of a dense arena without cloning machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Segment {
     /// Compute in user mode for the given duration.
     User {
@@ -106,6 +110,78 @@ pub trait Program {
 
     /// A short human-readable workload name (e.g. `"gmake"`).
     fn name(&self) -> &'static str;
+
+    /// Appends the next *batch* of segments to `out` — at least one.
+    ///
+    /// The emitted stream must be identical to repeated
+    /// [`Program::next_segment`] calls, including the order of RNG draws;
+    /// batching only changes how many segments one virtual call returns.
+    /// The default forwards one segment at a time; programs with a
+    /// cheaply enumerable future (scripts, loops, profile iterations)
+    /// override it so [`FlatProgram`] touches the vtable once per batch.
+    fn fill(&mut self, out: &mut Vec<Segment>, rng: &mut SimRng) {
+        out.push(self.next_segment(rng));
+    }
+}
+
+/// A [`Program`] flattened into a contiguous segment arena.
+///
+/// The vCPU step path consumes segments at simulation frequency — every
+/// few microseconds of guest time under micro-slicing — and paying a
+/// `Box<dyn Program>` virtual call plus whatever allocation the program
+/// does per segment was measurable. `FlatProgram` batches: it asks the
+/// source to [`Program::fill`] a dense `Vec<Segment>` and then serves
+/// `Copy` reads off a cursor until the arena runs dry. The observable
+/// segment/RNG stream is bit-identical to driving the source directly.
+pub struct FlatProgram {
+    source: Box<dyn Program>,
+    arena: Vec<Segment>,
+    cursor: usize,
+}
+
+impl FlatProgram {
+    /// Wraps a program; the arena fills lazily on first use.
+    pub fn new(source: Box<dyn Program>) -> Self {
+        FlatProgram {
+            source,
+            arena: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// The wrapped program's name.
+    pub fn name(&self) -> &'static str {
+        self.source.name()
+    }
+
+    /// Produces the next segment, refilling the arena from the source
+    /// when the cursor catches up.
+    #[inline]
+    pub fn next_segment(&mut self, rng: &mut SimRng) -> Segment {
+        if self.cursor == self.arena.len() {
+            self.arena.clear();
+            self.cursor = 0;
+            self.source.fill(&mut self.arena, rng);
+            assert!(
+                !self.arena.is_empty(),
+                "Program::fill emitted no segments ({})",
+                self.source.name()
+            );
+        }
+        let seg = self.arena[self.cursor];
+        self.cursor += 1;
+        seg
+    }
+}
+
+impl core::fmt::Debug for FlatProgram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FlatProgram")
+            .field("name", &self.name())
+            .field("arena_len", &self.arena.len())
+            .field("cursor", &self.cursor)
+            .finish()
+    }
 }
 
 /// A program built from a fixed segment list (ends with [`Segment::End`],
@@ -140,13 +216,21 @@ impl ScriptedProgram {
 
 impl Program for ScriptedProgram {
     fn next_segment(&mut self, _rng: &mut SimRng) -> Segment {
-        let seg = self.script.get(self.pos).cloned().unwrap_or(Segment::End);
+        let seg = self.script.get(self.pos).copied().unwrap_or(Segment::End);
         self.pos += 1;
         seg
     }
 
     fn name(&self) -> &'static str {
         self.name
+    }
+
+    fn fill(&mut self, out: &mut Vec<Segment>, _rng: &mut SimRng) {
+        // Everything left, then the terminal End; once exhausted, one End
+        // per call — the same stream next_segment produces.
+        out.extend_from_slice(&self.script[self.pos.min(self.script.len())..]);
+        out.push(Segment::End);
+        self.pos = self.script.len() + 1;
     }
 }
 
@@ -160,13 +244,19 @@ pub struct LoopingProgram {
 
 impl Program for LoopingProgram {
     fn next_segment(&mut self, _rng: &mut SimRng) -> Segment {
-        let seg = self.script[self.pos].clone();
+        let seg = self.script[self.pos];
         self.pos = (self.pos + 1) % self.script.len();
         seg
     }
 
     fn name(&self) -> &'static str {
         self.name
+    }
+
+    fn fill(&mut self, out: &mut Vec<Segment>, _rng: &mut SimRng) {
+        // One batch = the rest of the current cycle.
+        out.extend_from_slice(&self.script[self.pos..]);
+        self.pos = 0;
     }
 }
 

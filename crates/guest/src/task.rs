@@ -1,7 +1,7 @@
 //! Guest tasks: the threads/processes running inside a VM.
 
 use crate::activity::Activity;
-use crate::segment::{Program, Segment};
+use crate::segment::{FlatProgram, Program, Segment};
 use simcore::ids::TaskId;
 use simcore::rng::SimRng;
 use simcore::time::SimTime;
@@ -29,8 +29,10 @@ pub struct Task {
     pub home_vcpu: u16,
     /// Current state.
     pub state: TaskState,
-    /// The workload program driving this task.
-    pub program: Box<dyn Program>,
+    /// The workload program driving this task, flattened into a segment
+    /// arena so the hot step path reads `Copy` values off a cursor
+    /// instead of making one virtual call per segment.
+    pub program: FlatProgram,
     /// Per-task RNG stream (forked from the machine seed).
     pub rng: SimRng,
     /// Completed work units ([`Segment::WorkUnit`] count).
@@ -56,7 +58,7 @@ impl Task {
             id,
             home_vcpu,
             state: TaskState::Ready,
-            program,
+            program: FlatProgram::new(program),
             rng,
             work_done: 0,
             finished_at: None,

@@ -106,7 +106,8 @@ impl Machine {
             .find(|&p| self.pcpus[p.0 as usize].is_idle())
             .or_else(|| {
                 members
-                    .into_iter()
+                    .iter()
+                    .copied()
                     .find(|&p| self.pcpus[p.0 as usize].runq_len() < self.cfg.micro_runq_cap)
             })
     }
@@ -199,7 +200,7 @@ impl Machine {
 
     /// Arms a policy timer that fires `delay` from now with the given id.
     pub fn set_policy_timer(&mut self, delay: SimDuration, id: u64) {
-        self.queue.push(self.now + delay, Event::PolicyTimer { id });
+        self.push_event(self.now + delay, Event::PolicyTimer { id });
     }
 
     /// Pins a vCPU to a set of pCPUs (normal-pool affinity).

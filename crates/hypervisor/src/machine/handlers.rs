@@ -99,7 +99,7 @@ impl Machine {
             }
         }
         let next = self.now + self.cfg.tick;
-        self.queue.push(next, Event::Tick);
+        self.push_event(next, Event::Tick);
         if self.cfg.paranoid {
             self.stats.counters.incr("invariant_checks");
             if let Err(e) = self.check_invariants() {
@@ -123,7 +123,7 @@ impl Machine {
             }
         }
         let next = self.now + self.cfg.account_period;
-        self.queue.push(next, Event::Account);
+        self.push_event(next, Event::Account);
     }
 
     /// A packet reaches the host NIC: run the flow state machine, the
@@ -137,7 +137,7 @@ impl Machine {
         let now = self.now;
         let (action, next) = self.vms[vmi].kernel.flows[fi].on_arrival(now);
         if let Some(t) = next {
-            self.queue.push(t, Event::PacketArrival { vm, flow });
+            self.push_event(t, Event::PacketArrival { vm, flow });
         }
         match action {
             ArrivalAction::Dropped => {}

@@ -23,7 +23,7 @@ use crate::stats::MachineStats;
 use crate::vcpu::{VState, Vcpu};
 use crate::vm::{Vm, VmSpec};
 use ksym::linux44::Linux44Map;
-use simcore::event::EventQueue;
+use simcore::event::ShardedEventQueue;
 use simcore::ids::{PcpuId, VcpuId, VmId};
 use simcore::rng::SimRng;
 use simcore::time::SimTime;
@@ -130,12 +130,22 @@ pub enum Event {
     },
 }
 
+/// Event-queue shard for machine-global events (timers, network flows,
+/// task wakeups, faults).
+const GLOBAL_SHARD: usize = 0;
+/// Event-queue shard for normal-pool scheduler events.
+const NORMAL_SHARD: usize = 1;
+/// Event-queue shard for micro-pool scheduler events.
+const MICRO_SHARD: usize = 2;
+/// Total shard count of the machine's event queue.
+const NUM_SHARDS: usize = 3;
+
 /// The simulated host.
 pub struct Machine {
     /// Configuration (read-only after construction).
     pub cfg: MachineConfig,
     pub(crate) now: SimTime,
-    pub(crate) queue: EventQueue<Event>,
+    pub(crate) queue: ShardedEventQueue<Event>,
     /// Machine-level RNG (placement tie-breaking and the like).
     pub rng: SimRng,
     pub(crate) pcpus: Vec<Pcpu>,
@@ -186,7 +196,7 @@ impl Machine {
         let mut machine = Machine {
             cfg,
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: ShardedEventQueue::new(NUM_SHARDS),
             rng,
             pcpus,
             pools,
@@ -213,8 +223,8 @@ impl Machine {
             }
         }
         // Round-robin initial placement of non-idle vCPUs over the normal
-        // pool, respecting affinity.
-        let members = self.pools.members(PoolId::Normal);
+        // pool, respecting affinity. (Cold path: the copy is fine.)
+        let members: Vec<PcpuId> = self.pools.members(PoolId::Normal).to_vec();
         let mut next = 0usize;
         for vm_i in 0..self.vcpus.len() {
             for v in 0..self.vcpus[vm_i].len() {
@@ -240,15 +250,15 @@ impl Machine {
         // Periodic scheduler timers.
         let tick = self.cfg.tick;
         let account = self.cfg.account_period;
-        self.queue.push(self.now + tick, Event::Tick);
-        self.queue.push(self.now + account, Event::Account);
+        self.push_event(self.now + tick, Event::Tick);
+        self.push_event(self.now + account, Event::Account);
         // Seed network flows.
         for vm_i in 0..self.vms.len() {
             for f in 0..self.vms[vm_i].kernel.flows.len() {
                 let start = self.now;
                 let arrivals = self.vms[vm_i].kernel.flows[f].initial_arrivals(start);
                 for t in arrivals {
-                    self.queue.push(
+                    self.push_event(
                         t,
                         Event::PacketArrival {
                             vm: VmId(vm_i as u16),
@@ -368,6 +378,27 @@ impl Machine {
             f(policy.as_mut(), self);
             self.policy = Some(policy);
         }
+    }
+
+    /// Schedules an event, routed to the shard of the cpupool it concerns
+    /// (scheduler events) or the machine-global shard (timers, flows,
+    /// faults). Routing affects only heap locality — pops come out
+    /// ordered by `(time, push order)` across all shards, so the shard
+    /// choice can never change the simulation.
+    #[inline]
+    pub(crate) fn push_event(&mut self, at: SimTime, event: Event) {
+        let shard = match event {
+            Event::Transition { vcpu, .. } | Event::Kick { vcpu } => match self.vcpu(vcpu).pool {
+                PoolId::Normal => NORMAL_SHARD,
+                PoolId::Micro => MICRO_SHARD,
+            },
+            Event::Preempt { pcpu } => match self.pools.pool_of(pcpu) {
+                PoolId::Normal => NORMAL_SHARD,
+                PoolId::Micro => MICRO_SHARD,
+            },
+            _ => GLOBAL_SHARD,
+        };
+        self.queue.push(shard, at, event);
     }
 
     /// Immutable vCPU accessor.

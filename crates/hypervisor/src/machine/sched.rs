@@ -61,13 +61,10 @@ impl Machine {
     /// each vCPU's current `pri` field; stored snapshots go stale as
     /// credits refill and starve waiters).
     pub(crate) fn refresh_runq(&mut self, pcpu: PcpuId) {
-        let live: Vec<(VcpuId, Prio)> = self.pcpus[pcpu.0 as usize]
-            .runq_iter()
-            .map(|e| (e.vcpu, self.vcpu(e.vcpu).prio()))
-            .collect();
-        if !live.is_empty() {
-            self.pcpus[pcpu.0 as usize].refresh_prios(&live);
-        }
+        // Field-split borrow: the closure reads vCPU state while the queue
+        // rewrites its key array in place — no scratch allocation.
+        let (pcpus, vcpus) = (&mut self.pcpus, &self.vcpus);
+        pcpus[pcpu.0 as usize].refresh_with(|v| vcpus[v.vm.0 as usize][v.idx as usize].prio());
     }
 
     pub(crate) fn dispatch(&mut self, pcpu: PcpuId) {
@@ -152,7 +149,8 @@ impl Machine {
         let mut donors: Vec<PcpuId> = self
             .pools
             .members(pool)
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|&p| p != pcpu && self.pcpus[p.0 as usize].runq_len() > 0)
             .collect();
         donors.sort_by_key(|&p| core::cmp::Reverse(self.pcpus[p.0 as usize].runq_len()));
@@ -184,32 +182,28 @@ impl Machine {
     pub(crate) fn choose_pcpu(&mut self, vcpu: VcpuId, pool: PoolId) -> PcpuId {
         let members = self.pools.members(pool);
         let vc = self.vcpu(vcpu);
-        let allowed: Vec<PcpuId> = if pool == PoolId::Normal {
-            let filtered: Vec<PcpuId> = members.iter().copied().filter(|&p| vc.allows(p)).collect();
-            if filtered.is_empty() {
-                members
-            } else {
-                filtered
-            }
-        } else {
-            members
-        };
+        // Affinity applies in the normal pool; if it admits no member, it
+        // is ignored (the historical fallback). Expressed as a predicate
+        // over the borrowed member slice so nothing is collected.
+        let filter_on = pool == PoolId::Normal && members.iter().any(|&p| vc.allows(p));
+        let admit = |p: PcpuId| !filter_on || vc.allows(p);
         // Unreachable assert: pools are fixed at boot and resize keeps the
-        // normal pool non-empty; `allowed` falls back to all members.
-        assert!(!allowed.is_empty(), "pool has no pCPUs");
+        // normal pool non-empty; the predicate falls back to all members.
+        assert!(members.iter().any(|&p| admit(p)), "pool has no pCPUs");
         let last = vc.last_pcpu;
-        if allowed.contains(&last) && self.pcpus[last.0 as usize].is_idle() {
+        if members.contains(&last) && admit(last) && self.pcpus[last.0 as usize].is_idle() {
             return last;
         }
-        if let Some(&idle) = allowed
+        if let Some(&idle) = members
             .iter()
-            .find(|&&p| self.pcpus[p.0 as usize].is_idle())
+            .find(|&&p| admit(p) && self.pcpus[p.0 as usize].is_idle())
         {
             return idle;
         }
-        // Unreachable expect: `allowed` was asserted non-empty above.
-        *allowed
+        // Unreachable expect: admissibility was asserted above.
+        *members
             .iter()
+            .filter(|&&p| admit(p))
             .min_by_key(|&&p| (self.pcpus[p.0 as usize].load(), p.0))
             .expect("non-empty")
     }
@@ -232,7 +226,7 @@ impl Machine {
             && self.pools.pool_of(pcpu) == PoolId::Normal
             && self.vcpu(current).prio() != Prio::Boost
         {
-            self.queue.push(self.now, Event::Preempt { pcpu });
+            self.push_event(self.now, Event::Preempt { pcpu });
         }
     }
 
@@ -404,7 +398,6 @@ impl Machine {
             (at, stop)
         };
         let gen = self.vcpu(vcpu).gen;
-        self.queue
-            .push(at.max(self.now), Event::Transition { vcpu, gen, stop });
+        self.push_event(at.max(self.now), Event::Transition { vcpu, gen, stop });
     }
 }

@@ -1,9 +1,17 @@
 //! Physical CPUs and their run queues.
+//!
+//! The run queue is stored structure-of-arrays: a dense `Vec<u8>` of
+//! priority ranks parallel to a `Vec<VcpuId>`. Every hot probe — the
+//! dispatch scan, `head_prio`, the `micro_runq_cap` length checks, the
+//! idle-stealing donor sort — walks (or merely measures) the contiguous
+//! key array without touching the vCPU ids at all; the ids are only read
+//! when an entry actually moves. Queues are tiny (a handful of entries at
+//! 2:1 overcommit), so `Vec` insert/remove shifts beat any pointer
+//! structure.
 
 use crate::vcpu::Prio;
 use simcore::ids::{PcpuId, VcpuId, VmId};
 use simcore::time::SimTime;
-use std::collections::VecDeque;
 
 /// One entry on a run queue: the vCPU and the priority it was enqueued at.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,8 +31,11 @@ pub struct Pcpu {
     pub current: Option<VcpuId>,
     /// When the current slice ends.
     pub slice_end: SimTime,
-    /// Waiting vCPUs, ordered by priority then FIFO.
-    runq: VecDeque<RunqEntry>,
+    /// Priority ranks of the waiting vCPUs, best (lowest) first; the
+    /// ordering key array every scan walks.
+    prio_keys: Vec<u8>,
+    /// The waiting vCPUs, parallel to `prio_keys`.
+    vcpus: Vec<VcpuId>,
     /// VM of the last vCPU that ran here (cache-pollution cost model).
     pub last_vm: Option<VmId>,
     /// The last vCPU that ran here (same-vCPU re-dispatch is cheap).
@@ -38,80 +49,124 @@ impl Pcpu {
             id,
             current: None,
             slice_end: SimTime::ZERO,
-            runq: VecDeque::new(),
+            prio_keys: Vec::new(),
+            vcpus: Vec::new(),
             last_vm: None,
             last_vcpu: None,
         }
     }
 
-    /// Inserts a vCPU after the last entry of priority ≥ `prio` (priority
-    /// order, FIFO within a priority class).
-    pub fn enqueue(&mut self, vcpu: VcpuId, prio: Prio) {
+    /// First index whose key is strictly worse than `rank` — i.e. the
+    /// slot a new entry of `rank` takes to land after the last entry of
+    /// priority ≥ its own (priority order, FIFO within a class).
+    #[inline]
+    fn insert_pos(&self, rank: u8) -> usize {
+        self.prio_keys
+            .iter()
+            .position(|&k| k > rank)
+            .unwrap_or(self.prio_keys.len())
+    }
+
+    #[inline]
+    fn debug_check_absent(&self, vcpu: VcpuId) {
         debug_assert!(
-            !self.runq.iter().any(|e| e.vcpu == vcpu),
+            !self.vcpus.contains(&vcpu),
             "{vcpu} double-enqueued on {}",
             self.id
         );
-        let pos = self
-            .runq
-            .iter()
-            .position(|e| e.prio.rank() > prio.rank())
-            .unwrap_or(self.runq.len());
-        self.runq.insert(pos, RunqEntry { vcpu, prio });
+    }
+
+    /// Inserts a vCPU after the last entry of priority ≥ `prio` (priority
+    /// order, FIFO within a priority class).
+    pub fn enqueue(&mut self, vcpu: VcpuId, prio: Prio) {
+        self.debug_check_absent(vcpu);
+        let pos = self.insert_pos(prio.rank());
+        self.prio_keys.insert(pos, prio.rank());
+        self.vcpus.insert(pos, vcpu);
     }
 
     /// Inserts a yielding vCPU behind one extra entry (Xen credit1
     /// YIELD-flag semantics: "put it behind one lower priority vcpu ...
     /// so that it is not scheduled again immediately").
     pub fn enqueue_yield(&mut self, vcpu: VcpuId, prio: Prio) {
-        debug_assert!(
-            !self.runq.iter().any(|e| e.vcpu == vcpu),
-            "{vcpu} double-enqueued on {}",
-            self.id
-        );
-        let pos = self
-            .runq
-            .iter()
-            .position(|e| e.prio.rank() > prio.rank())
-            .unwrap_or(self.runq.len());
+        self.debug_check_absent(vcpu);
         // Skip one entry past the normal insertion point, if any.
-        let pos = (pos + 1).min(self.runq.len());
-        self.runq.insert(pos, RunqEntry { vcpu, prio });
+        let pos = (self.insert_pos(prio.rank()) + 1).min(self.prio_keys.len());
+        self.prio_keys.insert(pos, prio.rank());
+        self.vcpus.insert(pos, vcpu);
     }
 
     /// Removes and returns the highest-priority waiter.
     pub fn pop(&mut self) -> Option<RunqEntry> {
-        self.runq.pop_front()
+        if self.prio_keys.is_empty() {
+            return None;
+        }
+        let prio = Prio::from_rank(self.prio_keys.remove(0));
+        let vcpu = self.vcpus.remove(0);
+        Some(RunqEntry { vcpu, prio })
     }
 
-    /// Refreshes queued priorities from live values and restores priority
-    /// order (stable, so FIFO within a class is preserved).
+    /// Refreshes every queued priority from the live value `prio_of`
+    /// reports and restores priority order (stable, so FIFO within a
+    /// class is preserved). The refresh writes straight into the dense
+    /// key array — no per-call allocation.
     ///
     /// Xen compares each queued vCPU's *current* `pri` field during
     /// insertion; snapshotting priorities at enqueue time lets a waiter
     /// whose credits were refilled rot behind its stale OVER tag and
     /// starve — a bug this simulation had until Figure 9's pinned pair
     /// exposed it.
+    pub fn refresh_with(&mut self, mut prio_of: impl FnMut(VcpuId) -> Prio) {
+        for (key, &vcpu) in self.prio_keys.iter_mut().zip(&self.vcpus) {
+            *key = prio_of(vcpu).rank();
+        }
+        self.restore_order();
+    }
+
+    /// Refreshes queued priorities from a slice of live values; entries
+    /// not listed keep their snapshot. Convenience wrapper over
+    /// [`Pcpu::refresh_with`] for tests and small callers.
     pub fn refresh_prios(&mut self, live: &[(VcpuId, Prio)]) {
-        for entry in &mut self.runq {
-            if let Some((_, prio)) = live.iter().find(|(v, _)| *v == entry.vcpu) {
-                entry.prio = *prio;
+        for (key, &vcpu) in self.prio_keys.iter_mut().zip(&self.vcpus) {
+            if let Some((_, prio)) = live.iter().find(|(v, _)| *v == vcpu) {
+                *key = prio.rank();
             }
         }
-        let mut entries: Vec<RunqEntry> = self.runq.drain(..).collect();
-        entries.sort_by_key(|e| e.prio.rank());
-        self.runq.extend(entries);
+        self.restore_order();
+    }
+
+    /// Re-sorts the parallel arrays by key, stably. Queues are a handful
+    /// of entries and usually already sorted, so: a linear sortedness
+    /// check, then an insertion sort only when the refresh actually
+    /// reordered something.
+    fn restore_order(&mut self) {
+        if self.prio_keys.is_sorted() {
+            return;
+        }
+        for i in 1..self.prio_keys.len() {
+            let key = self.prio_keys[i];
+            let vcpu = self.vcpus[i];
+            let mut j = i;
+            while j > 0 && self.prio_keys[j - 1] > key {
+                self.prio_keys[j] = self.prio_keys[j - 1];
+                self.vcpus[j] = self.vcpus[j - 1];
+                j -= 1;
+            }
+            self.prio_keys[j] = key;
+            self.vcpus[j] = vcpu;
+        }
     }
 
     /// Priority of the best waiter, if any.
     pub fn head_prio(&self) -> Option<Prio> {
-        self.runq.front().map(|e| e.prio)
+        self.prio_keys.first().map(|&k| Prio::from_rank(k))
     }
 
     /// Removes a specific vCPU from the queue. Returns `true` if present.
     pub fn remove(&mut self, vcpu: VcpuId) -> bool {
-        if let Some(pos) = self.runq.iter().position(|e| e.vcpu == vcpu) {
-            self.runq.remove(pos);
+        if let Some(pos) = self.vcpus.iter().position(|&v| v == vcpu) {
+            self.prio_keys.remove(pos);
+            self.vcpus.remove(pos);
             true
         } else {
             false
@@ -121,33 +176,44 @@ impl Pcpu {
     /// Steals the lowest-priority (tail) waiter, preferring one that the
     /// filter admits. Used by idle pCPUs pulling work.
     pub fn steal_tail(&mut self, admit: impl Fn(VcpuId) -> bool) -> Option<RunqEntry> {
-        let pos = self.runq.iter().rposition(|e| admit(e.vcpu))?;
-        self.runq.remove(pos)
+        let pos = self.vcpus.iter().rposition(|&v| admit(v))?;
+        let prio = Prio::from_rank(self.prio_keys.remove(pos));
+        let vcpu = self.vcpus.remove(pos);
+        Some(RunqEntry { vcpu, prio })
     }
 
     /// Queue length (excluding the running vCPU).
     pub fn runq_len(&self) -> usize {
-        self.runq.len()
+        self.prio_keys.len()
     }
 
     /// Load metric: queue length plus one if busy.
     pub fn load(&self) -> usize {
-        self.runq.len() + usize::from(self.current.is_some())
+        self.prio_keys.len() + usize::from(self.current.is_some())
     }
 
     /// True if nothing is running and nothing is queued.
     pub fn is_idle(&self) -> bool {
-        self.current.is_none() && self.runq.is_empty()
+        self.current.is_none() && self.prio_keys.is_empty()
     }
 
-    /// Iterates over queued entries, best priority first.
-    pub fn runq_iter(&self) -> impl Iterator<Item = &RunqEntry> {
-        self.runq.iter()
+    /// Iterates over queued entries by value, best priority first.
+    pub fn runq_iter(&self) -> impl Iterator<Item = RunqEntry> + '_ {
+        self.vcpus
+            .iter()
+            .zip(&self.prio_keys)
+            .map(|(&vcpu, &k)| RunqEntry {
+                vcpu,
+                prio: Prio::from_rank(k),
+            })
     }
 
     /// Drains the whole queue (pool reconfiguration).
     pub fn drain_runq(&mut self) -> Vec<RunqEntry> {
-        self.runq.drain(..).collect()
+        let out = self.runq_iter().collect();
+        self.prio_keys.clear();
+        self.vcpus.clear();
+        out
     }
 }
 

@@ -23,6 +23,11 @@ pub enum PoolId {
 pub struct PoolSet {
     /// All pCPUs, in id order; `membership[i]` is the pool of pCPU `i`.
     membership: Vec<PoolId>,
+    /// Normal-pool members, ascending — kept materialized so the dispatch
+    /// and wake paths borrow a slice instead of rebuilding a `Vec`.
+    normal: Vec<PcpuId>,
+    /// Micro-pool members, ascending (same contract as `normal`).
+    micro: Vec<PcpuId>,
     /// Time slice of the normal pool.
     pub normal_slice: SimDuration,
     /// Time slice of the micro pool.
@@ -34,6 +39,8 @@ impl PoolSet {
     pub fn new(num_pcpus: u16, normal_slice: SimDuration, micro_slice: SimDuration) -> Self {
         PoolSet {
             membership: vec![PoolId::Normal; num_pcpus as usize],
+            normal: (0..num_pcpus).map(PcpuId).collect(),
+            micro: Vec::new(),
             normal_slice,
             micro_slice,
         }
@@ -52,30 +59,38 @@ impl PoolSet {
         }
     }
 
-    /// All pCPUs in a pool, ascending.
-    pub fn members(&self, pool: PoolId) -> Vec<PcpuId> {
-        self.membership
-            .iter()
-            .enumerate()
-            .filter(|(_, &p)| p == pool)
-            .map(|(i, _)| PcpuId(i as u16))
-            .collect()
+    /// All pCPUs in a pool, ascending. Borrowed from the maintained
+    /// member list — no allocation.
+    pub fn members(&self, pool: PoolId) -> &[PcpuId] {
+        match pool {
+            PoolId::Normal => &self.normal,
+            PoolId::Micro => &self.micro,
+        }
     }
 
     /// Number of pCPUs in a pool.
     pub fn count(&self, pool: PoolId) -> usize {
-        self.membership.iter().filter(|&&p| p == pool).count()
+        self.members(pool).len()
     }
 
     /// Moves a pCPU to a pool. Returns `true` if the membership changed.
     pub fn assign(&mut self, pcpu: PcpuId, pool: PoolId) -> bool {
         let slot = &mut self.membership[pcpu.0 as usize];
         if *slot == pool {
-            false
-        } else {
-            *slot = pool;
-            true
+            return false;
         }
+        *slot = pool;
+        let (from, to) = match pool {
+            PoolId::Normal => (&mut self.micro, &mut self.normal),
+            PoolId::Micro => (&mut self.normal, &mut self.micro),
+        };
+        // Unreachable expect: membership and the member lists move in
+        // lock-step, so the pCPU is always on its old pool's list.
+        let pos = from.iter().position(|&p| p == pcpu).expect("member list");
+        from.remove(pos);
+        let ins = to.partition_point(|&p| p < pcpu);
+        to.insert(ins, pcpu);
+        true
     }
 
     /// Resizes the micro pool to exactly `n` pCPUs, taking/releasing the

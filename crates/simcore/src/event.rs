@@ -214,6 +214,24 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// The earliest pending event without removing it.
+    ///
+    /// Takes `&mut self` because cancelled entries sitting on top of the
+    /// heap are reaped on the way — the same lazy-drain `peek_time` does.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        loop {
+            let top = self.heap.first()?;
+            if self.slots[top.slot as usize].payload.is_some() {
+                break;
+            }
+            let top = self.pop_entry().expect("non-empty");
+            self.release(top.slot);
+        }
+        let slot = self.heap[0].slot as usize;
+        let at = self.heap[0].at;
+        self.slots[slot].payload.as_ref().map(|p| (at, p))
+    }
+
     /// Iterates over all pending events in unspecified order.
     ///
     /// Cancelled events never appear. Intended for validation passes
@@ -300,6 +318,152 @@ impl<E> EventQueue<E> {
             i = best;
         }
         self.heap[i] = entry;
+    }
+}
+
+/// A handle to an event scheduled on a [`ShardedEventQueue`], usable to
+/// cancel it before it fires. Carries the shard id so cancellation routes
+/// straight to the owning shard without a lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ShardKey {
+    shard: u8,
+    key: EventKey,
+}
+
+impl ShardKey {
+    /// The shard this key's event was scheduled on.
+    #[inline]
+    pub fn shard(self) -> usize {
+        self.shard as usize
+    }
+}
+
+/// An [`EventQueue`] split into independent shards with a tiny merge
+/// front over the shard minima.
+///
+/// Pushers route each event to a caller-chosen shard (the hypervisor uses
+/// one shard per cpupool plus one for machine-global timers), which keeps
+/// each underlying 4-ary heap's working set small on large `num_pcpus`
+/// sweeps. Popping compares the shard heads by `(time, global_seq)` — the
+/// global sequence number is stamped at push — so the pop order is
+/// **bit-identical to a single unsharded queue** no matter how events are
+/// distributed over shards. FIFO tie-break at equal timestamps therefore
+/// holds across shards, not just within one.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::event::ShardedEventQueue;
+/// use simcore::time::SimTime;
+///
+/// let mut q = ShardedEventQueue::new(3);
+/// q.push(2, SimTime::from_micros(10), 'a');
+/// let key = q.push(0, SimTime::from_micros(10), 'b');
+/// q.push(1, SimTime::from_micros(5), 'c');
+/// q.cancel(key);
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(5), 'c')));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), 'a')));
+/// assert!(q.is_empty());
+/// ```
+pub struct ShardedEventQueue<E> {
+    /// Payloads wrapped with their global push sequence; the wrapper is
+    /// what lets the merge front reconstruct the single-queue total order.
+    shards: Vec<EventQueue<(u64, E)>>,
+    next_gseq: u64,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// Creates a queue with `num_shards` independent shards (1..=255).
+    pub fn new(num_shards: usize) -> Self {
+        assert!(
+            (1..=255).contains(&num_shards),
+            "shard count must be in 1..=255, got {num_shards}"
+        );
+        ShardedEventQueue {
+            shards: (0..num_shards).map(|_| EventQueue::new()).collect(),
+            next_gseq: 0,
+        }
+    }
+
+    /// Number of shards this queue was created with.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Schedules `payload` on `shard` to fire at `at`.
+    ///
+    /// The shard choice affects only locality, never ordering: pops are
+    /// globally ordered by `(at, push order)` across all shards.
+    pub fn push(&mut self, shard: usize, at: SimTime, payload: E) -> ShardKey {
+        let gseq = self.next_gseq;
+        self.next_gseq += 1;
+        let key = self.shards[shard].push(at, (gseq, payload));
+        ShardKey {
+            shard: shard as u8,
+            key,
+        }
+    }
+
+    /// Cancels a previously scheduled event in `O(1)`, routing by the
+    /// shard id embedded in the key. Stale keys return `false`.
+    pub fn cancel(&mut self, key: ShardKey) -> bool {
+        self.shards[key.shard as usize].cancel(key.key)
+    }
+
+    /// Index of the shard holding the globally earliest pending event,
+    /// by `(time, global_seq)`. Reaps cancelled shard heads on the way.
+    #[inline]
+    fn best_shard(&mut self) -> Option<usize> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for i in 0..self.shards.len() {
+            if let Some((at, &(gseq, _))) = self.shards[i].peek() {
+                if best.is_none_or(|(bt, bs, _)| (at, gseq) < (bt, bs)) {
+                    best = Some((at, gseq, i));
+                }
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Removes and returns the globally earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let shard = self.best_shard()?;
+        self.shards[shard].pop().map(|(t, (_, p))| (t, p))
+    }
+
+    /// Removes and returns the globally earliest pending event if it
+    /// fires at or before `deadline` — the sharded counterpart of
+    /// [`EventQueue::pop_at_or_before`].
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        let shard = self.best_shard()?;
+        // best_shard already reaped cancelled heads, so this head is live.
+        self.shards[shard]
+            .pop_at_or_before(deadline)
+            .map(|(t, (_, p))| (t, p))
+    }
+
+    /// The timestamp of the globally earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let shard = self.best_shard()?;
+        self.shards[shard].peek_time()
+    }
+
+    /// Iterates over all pending events in unspecified order — validation
+    /// passes only, same contract as [`EventQueue::iter`].
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(t, p)| (t, &p.1)))
+    }
+
+    /// Number of pending (non-cancelled) events across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if no events are pending on any shard.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
     }
 }
 
@@ -435,6 +599,67 @@ mod tests {
     }
 
     #[test]
+    fn peek_returns_head_without_removing() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_micros(3), 'a');
+        q.push(SimTime::from_micros(5), 'b');
+        assert_eq!(q.peek(), Some((SimTime::from_micros(3), &'a')));
+        assert_eq!(q.len(), 2, "peek must not consume");
+        q.cancel(a);
+        assert_eq!(q.peek(), Some((SimTime::from_micros(5), &'b')));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), 'b')));
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn sharded_fifo_holds_across_shards() {
+        // Equal-time events pushed to different shards must still pop in
+        // global push order.
+        let mut q = ShardedEventQueue::new(4);
+        let t = SimTime::from_millis(2);
+        for i in 0..32u32 {
+            q.push((i % 4) as usize, t, i);
+        }
+        for i in 0..32u32 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sharded_cancel_routes_by_shard_id() {
+        let mut q = ShardedEventQueue::new(2);
+        let a = q.push(0, SimTime::from_micros(1), 'a');
+        let b = q.push(1, SimTime::from_micros(2), 'b');
+        assert_eq!(a.shard(), 0);
+        assert_eq!(b.shard(), 1);
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(1), 'a')));
+        assert!(!q.cancel(a), "cancel after pop is a no-op");
+    }
+
+    #[test]
+    fn sharded_pop_at_or_before_respects_deadline() {
+        let mut q = ShardedEventQueue::new(3);
+        q.push(0, SimTime::from_micros(10), 'a');
+        q.push(1, SimTime::from_micros(20), 'b');
+        q.push(2, SimTime::from_micros(30), 'c');
+        assert_eq!(q.pop_at_or_before(SimTime::from_micros(5)), None);
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_micros(25)),
+            Some((SimTime::from_micros(10), 'a'))
+        );
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_micros(25)),
+            Some((SimTime::from_micros(20), 'b'))
+        );
+        assert_eq!(q.pop_at_or_before(SimTime::from_micros(25)), None);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(30)));
+    }
+
+    #[test]
     fn len_tracks_live_events() {
         let mut q = EventQueue::new();
         let keys: Vec<_> = (0..10)
@@ -546,6 +771,54 @@ mod tests {
                 }
                 prop_assert_eq!(q.len(), model.len());
             }
+        }
+
+        /// A sharded queue pops the exact sequence a single queue pops,
+        /// for arbitrary shard assignments and push/pop/cancel mixes —
+        /// the determinism contract the hypervisor relies on.
+        #[test]
+        fn prop_sharded_matches_unsharded(
+            ops in proptest::collection::vec((0u16..5, 0u64..300, 0u8..3), 1..300),
+        ) {
+            let mut sharded = ShardedEventQueue::new(3);
+            let mut flat = EventQueue::new();
+            let mut keys: Vec<(ShardKey, EventKey)> = Vec::new();
+            let mut next_id = 0u64;
+            for (op, t, shard) in ops {
+                match op {
+                    0 | 1 => {
+                        let at = SimTime::from_micros(t);
+                        let sk = sharded.push(shard as usize, at, next_id);
+                        let fk = flat.push(at, next_id);
+                        keys.push((sk, fk));
+                        next_id += 1;
+                    }
+                    2 => {
+                        prop_assert_eq!(sharded.pop(), flat.pop());
+                    }
+                    3 => {
+                        let deadline = SimTime::from_micros(t);
+                        prop_assert_eq!(
+                            sharded.pop_at_or_before(deadline),
+                            flat.pop_at_or_before(deadline)
+                        );
+                    }
+                    _ => {
+                        if !keys.is_empty() {
+                            let pick = (t as usize) % keys.len();
+                            let (sk, fk) = keys.swap_remove(pick);
+                            prop_assert_eq!(sharded.cancel(sk), flat.cancel(fk));
+                        }
+                    }
+                }
+                prop_assert_eq!(sharded.len(), flat.len());
+                prop_assert_eq!(sharded.peek_time(), flat.peek_time());
+            }
+            let mut a: Vec<_> = sharded.iter().map(|(t, &e)| (t, e)).collect();
+            let mut b: Vec<_> = flat.iter().map(|(t, &e)| (t, e)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
         }
 
         /// `pop_at_or_before` equals peek-check-then-pop for arbitrary

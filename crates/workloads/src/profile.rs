@@ -4,7 +4,6 @@ use guest::kernel::LockLayout;
 use guest::segment::{Program, Segment};
 use simcore::rng::SimRng;
 use simcore::time::SimDuration;
-use std::collections::VecDeque;
 
 /// Which kernel lock an operation acquires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,8 +100,11 @@ pub struct ProfileProgram {
     vcpu_idx: u16,
     /// Number of vCPUs/tasks in the VM.
     num_vcpus: u16,
-    /// Queued segments of the current iteration.
-    queue: VecDeque<Segment>,
+    /// Segments of the current iteration not yet handed out via
+    /// [`Program::next_segment`]; `cursor` indexes the next one. The
+    /// batch [`Program::fill`] path bypasses this buffer entirely.
+    queue: Vec<Segment>,
+    cursor: usize,
     /// Completed iterations.
     done: u64,
 }
@@ -117,7 +119,8 @@ impl ProfileProgram {
             layout: LockLayout::new(num_vcpus),
             vcpu_idx,
             num_vcpus,
-            queue: VecDeque::new(),
+            queue: Vec::new(),
+            cursor: 0,
             done: 0,
         }
     }
@@ -139,29 +142,33 @@ impl ProfileProgram {
         }
     }
 
-    /// Builds the segment list for one iteration.
-    fn refill(&mut self, rng: &mut SimRng) {
+    /// Writes the segment list for one iteration into `out` — always at
+    /// least one segment. The RNG draw order is the load-bearing part:
+    /// it is identical whether the caller batches or single-steps.
+    fn emit_iteration(&mut self, out: &mut Vec<Segment>, rng: &mut SimRng) {
         if let Some(limit) = self.profile.iters {
             if self.done >= limit {
-                self.queue.push_back(Segment::End);
+                out.push(Segment::End);
                 return;
             }
         }
         self.done += 1;
 
         // Kernel ops (syscall bodies) first, as on a real syscall path.
-        for (sym, mean, prob) in self.profile.kernel_ops.clone() {
+        for i in 0..self.profile.kernel_ops.len() {
+            let (sym, mean, prob) = self.profile.kernel_ops[i];
             if rng.chance(prob) {
-                self.queue.push_back(Segment::Kernel {
+                out.push(Segment::Kernel {
                     sym,
                     dur: rng.exp_duration(mean),
                 });
             }
         }
-        for op in self.profile.lock_ops.clone() {
+        for i in 0..self.profile.lock_ops.len() {
+            let op = self.profile.lock_ops[i];
             if rng.chance(op.prob) {
                 let (lock, sym) = self.lock_index(op.lock, rng);
-                self.queue.push_back(Segment::Critical {
+                out.push(Segment::Critical {
                     lock,
                     sym,
                     hold: rng.exp_duration(op.hold),
@@ -169,7 +176,7 @@ impl ProfileProgram {
             }
         }
         if self.profile.tlb_prob > 0.0 && rng.chance(self.profile.tlb_prob) {
-            self.queue.push_back(Segment::TlbShootdown {
+            out.push(Segment::TlbShootdown {
                 local_cost: self.profile.tlb_local,
             });
         }
@@ -181,18 +188,18 @@ impl ProfileProgram {
             if target == self.vcpu_idx as u32 {
                 target = (target + 1) % self.num_vcpus as u32;
             }
-            self.queue.push_back(Segment::Wake {
+            out.push(Segment::Wake {
                 target,
                 cost: SimDuration::from_micros(2),
             });
         }
-        self.queue.push_back(Segment::User {
+        out.push(Segment::User {
             dur: rng.exp_duration(self.profile.user_mean),
         });
-        self.queue.push_back(Segment::WorkUnit);
+        out.push(Segment::WorkUnit);
         if let Some(every) = self.profile.block_every {
             if self.done.is_multiple_of(every) {
-                self.queue.push_back(Segment::Sleep {
+                out.push(Segment::Sleep {
                     dur: rng.exp_duration(self.profile.sleep_mean),
                 });
             }
@@ -202,16 +209,31 @@ impl ProfileProgram {
 
 impl Program for ProfileProgram {
     fn next_segment(&mut self, rng: &mut SimRng) -> Segment {
-        loop {
-            if let Some(seg) = self.queue.pop_front() {
-                return seg;
-            }
-            self.refill(rng);
+        if self.cursor == self.queue.len() {
+            let mut buf = std::mem::take(&mut self.queue);
+            buf.clear();
+            self.cursor = 0;
+            self.emit_iteration(&mut buf, rng);
+            self.queue = buf;
         }
+        let seg = self.queue[self.cursor];
+        self.cursor += 1;
+        seg
     }
 
     fn name(&self) -> &'static str {
         self.profile.name
+    }
+
+    fn fill(&mut self, out: &mut Vec<Segment>, rng: &mut SimRng) {
+        // Hand out any single-step leftovers first so mixing the two
+        // consumption styles cannot reorder the stream.
+        if self.cursor < self.queue.len() {
+            out.extend_from_slice(&self.queue[self.cursor..]);
+            self.cursor = self.queue.len();
+            return;
+        }
+        self.emit_iteration(out, rng);
     }
 }
 

@@ -11,7 +11,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Anchor relative paths to the repo root: cargo runs bench binaries with
+# the *package* directory as cwd, which would scatter JSON files under
+# crates/bench/.
 export BENCH_JSON="${BENCH_JSON:-BENCH_hotpaths.json}"
+case "$BENCH_JSON" in
+/*) ;;
+*) BENCH_JSON="$PWD/$BENCH_JSON" ;;
+esac
 export BENCH_LABEL="${BENCH_LABEL:-current}"
 export BENCH_MEASURE_SECS="${BENCH_MEASURE_SECS:-3}"
 

@@ -25,6 +25,42 @@ echo "== fault-fuzz smoke (fixed seeds) ==" >&2
 # fault-fuzz corpus, not a flaky random one.
 cargo test --release -p experiments --test fault_injection -q
 
+echo "== bench smoke (hot paths within 25% of committed baseline) ==" >&2
+# Re-measure the two load-bearing hot-path benchmarks with a short window
+# and compare each against the *last* committed row of the same name in
+# BENCH_hotpaths.json; >25% slower fails the gate. Short windows are
+# noisy-but-cheap: real regressions of the kind this guards against
+# (accidental O(n) in the heap, a lost inline) blow far past 25%.
+smoke_json="$(mktemp)"
+BENCH_JSON="$smoke_json" BENCH_LABEL=smoke BENCH_MEASURE_SECS=1 \
+    scripts/bench.sh event_queue_push_pop_1k simulate_one_second_baseline >/dev/null
+for name in event_queue_push_pop_1k simulate_one_second_baseline; do
+    last_mean() {
+        awk -v name="$name" '
+            index($0, "\"name\":\"" name "\"") {
+                split($0, parts, "\"mean_ns\":")
+                split(parts[2], num, ",")
+                mean = num[1]
+            }
+            END { print mean }
+        ' "$1"
+    }
+    committed="$(last_mean BENCH_hotpaths.json)"
+    fresh="$(last_mean "$smoke_json")"
+    awk -v committed="$committed" -v fresh="$fresh" -v name="$name" 'BEGIN {
+        if (committed == "" || fresh == "") {
+            printf "bench smoke: no %s row (committed=%s fresh=%s)\n", name, committed, fresh > "/dev/stderr"
+            exit 1
+        }
+        if (fresh + 0 > (committed + 0) * 1.25) {
+            printf "bench smoke: %s regressed >25%%: %.0f ns vs committed %.0f ns\n", name, fresh, committed > "/dev/stderr"
+            exit 1
+        }
+        printf "bench smoke: %s ok (%.0f ns vs committed %.0f ns)\n", name, fresh, committed > "/dev/stderr"
+    }'
+done
+rm -f "$smoke_json"
+
 echo "== paranoid quick repro under injected faults ==" >&2
 cargo run --release -p experiments --bin repro -- --quick --paranoid \
     --faults count=24,window_ms=300 --keep-going fig9 table2 > /dev/null

@@ -1,0 +1,407 @@
+//! Equivalence suite for the data-oriented hot-path rewrites.
+//!
+//! Three structures were rewritten for cache locality — the SoA run
+//! queue (`hypervisor::pcpu`), the flattened program arena
+//! (`guest::segment::FlatProgram`), and the pool-sharded event queue
+//! (`simcore::event::ShardedEventQueue`). Each claims *observable
+//! equivalence* with the representation it replaced. This suite checks
+//! that claim twice over:
+//!
+//! - structurally, against reference models written here that reproduce
+//!   the replaced implementations verbatim (the `VecDeque` run queue,
+//!   direct `Box<dyn Program>` pulls, a single flat `EventQueue`),
+//!   driven through long pseudo-random op sequences; and
+//! - end-to-end, on the fig4 and table2 quick grids: the rendered bytes
+//!   must be identical across seeds and across `--jobs 1` vs `--jobs 8`
+//!   (the fan-out path exercises all three structures concurrently).
+
+use guest::segment::{FlatProgram, Program, ScriptedProgram, Segment};
+use hypervisor::pcpu::{Pcpu, RunqEntry};
+use hypervisor::Prio;
+use simcore::event::{EventQueue, ShardedEventQueue};
+use simcore::ids::{PcpuId, VcpuId, VmId};
+use simcore::rng::SimRng;
+use simcore::time::{SimDuration, SimTime};
+use workloads::Workload;
+
+// ---------------------------------------------------------------------
+// SoA run queue vs the replaced VecDeque implementation.
+// ---------------------------------------------------------------------
+
+/// The pre-rewrite run queue, verbatim: a `VecDeque<RunqEntry>` with
+/// linear insert-position scans and a stable sort on refresh.
+#[derive(Default)]
+struct RefRunq {
+    runq: std::collections::VecDeque<RunqEntry>,
+}
+
+impl RefRunq {
+    fn enqueue(&mut self, vcpu: VcpuId, prio: Prio) {
+        let pos = self
+            .runq
+            .iter()
+            .position(|e| e.prio.rank() > prio.rank())
+            .unwrap_or(self.runq.len());
+        self.runq.insert(pos, RunqEntry { vcpu, prio });
+    }
+
+    fn enqueue_yield(&mut self, vcpu: VcpuId, prio: Prio) {
+        let pos = self
+            .runq
+            .iter()
+            .position(|e| e.prio.rank() > prio.rank())
+            .unwrap_or(self.runq.len());
+        let pos = (pos + 1).min(self.runq.len());
+        self.runq.insert(pos, RunqEntry { vcpu, prio });
+    }
+
+    fn pop(&mut self) -> Option<RunqEntry> {
+        self.runq.pop_front()
+    }
+
+    fn refresh_prios(&mut self, live: &[(VcpuId, Prio)]) {
+        for entry in &mut self.runq {
+            if let Some((_, prio)) = live.iter().find(|(v, _)| *v == entry.vcpu) {
+                entry.prio = *prio;
+            }
+        }
+        let mut entries: Vec<RunqEntry> = self.runq.drain(..).collect();
+        entries.sort_by_key(|e| e.prio.rank());
+        self.runq.extend(entries);
+    }
+
+    fn head_prio(&self) -> Option<Prio> {
+        self.runq.front().map(|e| e.prio)
+    }
+
+    fn remove(&mut self, vcpu: VcpuId) -> bool {
+        if let Some(pos) = self.runq.iter().position(|e| e.vcpu == vcpu) {
+            self.runq.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn steal_tail(&mut self, admit: impl Fn(VcpuId) -> bool) -> Option<RunqEntry> {
+        let pos = self.runq.iter().rposition(|e| admit(e.vcpu))?;
+        self.runq.remove(pos)
+    }
+
+    fn entries(&self) -> Vec<RunqEntry> {
+        self.runq.iter().copied().collect()
+    }
+}
+
+fn prio_of(rank: u64) -> Prio {
+    match rank % 3 {
+        0 => Prio::Boost,
+        1 => Prio::Under,
+        _ => Prio::Over,
+    }
+}
+
+/// Drives the SoA queue and the reference model through the same long
+/// pseudo-random op sequence and checks every observable after every
+/// op: head priority, length, pop results, removal hits, steal results,
+/// and the full entry listing.
+#[test]
+fn soa_runq_matches_vecdeque_reference() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::new(0x50A_0000 + seed);
+        let mut soa = Pcpu::new(PcpuId(0));
+        let mut reference = RefRunq::default();
+        let mut queued: Vec<VcpuId> = Vec::new();
+        for _ in 0..400 {
+            let op = rng.range_u64(0, 6);
+            match op {
+                0 | 1 => {
+                    // Enqueue (plain or yield) a vCPU not already queued —
+                    // the machine never double-enqueues.
+                    let vcpu = VcpuId::new(VmId((rng.range_u64(0, 2)) as u16), {
+                        let mut idx = rng.range_u64(0, 16) as u16;
+                        while queued.iter().any(|q| q.idx == idx) {
+                            idx = (idx + 1) % 16;
+                        }
+                        idx
+                    });
+                    if queued.len() >= 15 {
+                        continue;
+                    }
+                    let prio = prio_of(rng.range_u64(0, 3));
+                    if op == 0 {
+                        soa.enqueue(vcpu, prio);
+                        reference.enqueue(vcpu, prio);
+                    } else {
+                        soa.enqueue_yield(vcpu, prio);
+                        reference.enqueue_yield(vcpu, prio);
+                    }
+                    queued.push(vcpu);
+                }
+                2 => {
+                    let a = soa.pop();
+                    let b = reference.pop();
+                    assert_eq!(a, b, "pop diverged (seed {seed})");
+                    if let Some(e) = a {
+                        queued.retain(|&v| v != e.vcpu);
+                    }
+                }
+                3 => {
+                    let vcpu = VcpuId::new(VmId(0), rng.range_u64(0, 16) as u16);
+                    let a = soa.remove(vcpu);
+                    let b = reference.remove(vcpu);
+                    assert_eq!(a, b, "remove diverged (seed {seed})");
+                    if a {
+                        queued.retain(|&v| v != vcpu);
+                    }
+                }
+                4 => {
+                    // Refresh every queued priority from a "live" table
+                    // derived from the RNG — the credit-tick pattern.
+                    let salt = rng.range_u64(0, 1 << 30);
+                    let live: Vec<(VcpuId, Prio)> = queued
+                        .iter()
+                        .map(|&v| (v, prio_of(u64::from(v.idx) + salt)))
+                        .collect();
+                    soa.refresh_prios(&live);
+                    reference.refresh_prios(&live);
+                }
+                _ => {
+                    let parity = rng.range_u64(0, 2);
+                    let admit = |v: VcpuId| u64::from(v.idx) % 2 == parity;
+                    let a = soa.steal_tail(admit);
+                    let b = reference.steal_tail(admit);
+                    assert_eq!(a, b, "steal_tail diverged (seed {seed})");
+                    if let Some(e) = a {
+                        queued.retain(|&v| v != e.vcpu);
+                    }
+                }
+            }
+            assert_eq!(soa.head_prio(), reference.head_prio(), "seed {seed}");
+            assert_eq!(soa.runq_len(), reference.runq.len(), "seed {seed}");
+            assert_eq!(
+                soa.runq_iter().collect::<Vec<_>>(),
+                reference.entries(),
+                "entry order diverged (seed {seed})"
+            );
+        }
+    }
+}
+
+/// `refresh_with` (the allocation-free closure form the scheduler uses)
+/// must order exactly like `refresh_prios` with a full live table.
+#[test]
+fn refresh_with_matches_refresh_prios() {
+    for seed in 0..16u64 {
+        let mut rng = SimRng::new(0x5EED + seed);
+        let mut a = Pcpu::new(PcpuId(0));
+        let mut b = Pcpu::new(PcpuId(0));
+        let mut queued = Vec::new();
+        for idx in 0..10u16 {
+            let prio = prio_of(rng.range_u64(0, 3));
+            let vcpu = VcpuId::new(VmId(0), idx);
+            a.enqueue(vcpu, prio);
+            b.enqueue(vcpu, prio);
+            queued.push(vcpu);
+        }
+        let salt = rng.range_u64(0, 1 << 30);
+        let live: Vec<(VcpuId, Prio)> = queued
+            .iter()
+            .map(|&v| (v, prio_of(u64::from(v.idx).wrapping_mul(7) + salt)))
+            .collect();
+        a.refresh_with(|v| prio_of(u64::from(v.idx).wrapping_mul(7) + salt));
+        b.refresh_prios(&live);
+        assert_eq!(
+            a.runq_iter().collect::<Vec<_>>(),
+            b.runq_iter().collect::<Vec<_>>(),
+            "seed {seed}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flattened program arena vs direct `Box<dyn Program>` dispatch.
+// ---------------------------------------------------------------------
+
+/// Pulls `n` segments from `FlatProgram::new(make())` and from a bare
+/// `make()` with identically-seeded RNGs; the streams must match
+/// segment-for-segment (same values *and* same RNG draw order).
+fn assert_program_equivalent(make: &dyn Fn() -> Box<dyn Program>, n: usize, what: &str) {
+    for seed in [0u64, 1, 0xE005_2018] {
+        let mut flat = FlatProgram::new(make());
+        let mut raw = make();
+        let mut flat_rng = SimRng::new(seed);
+        let mut raw_rng = SimRng::new(seed);
+        for i in 0..n {
+            let a = flat.next_segment(&mut flat_rng);
+            let b = raw.next_segment(&mut raw_rng);
+            assert_eq!(a, b, "{what}: segment {i} diverged (seed {seed:#x})");
+        }
+        assert_eq!(
+            flat_rng.range_u64(0, u64::MAX),
+            raw_rng.range_u64(0, u64::MAX),
+            "{what}: RNG streams desynchronized (seed {seed:#x})"
+        );
+    }
+}
+
+#[test]
+fn arena_matches_direct_dispatch_for_workload_programs() {
+    // Every profile-driven workload the figures use, plus the pure-compute
+    // anchors: profiles draw from the RNG, so this checks both the segment
+    // values and that batching did not reorder the draws.
+    for w in [
+        Workload::Exim,
+        Workload::Gmake,
+        Workload::Psearchy,
+        Workload::Memclone,
+        Workload::Dedup,
+        Workload::Vips,
+        Workload::Swaptions,
+        Workload::Blackscholes,
+        Workload::IperfServer,
+        Workload::Lookbusy,
+    ] {
+        assert_program_equivalent(&|| w.program(0, 4), 2_000, w.name());
+    }
+}
+
+#[test]
+fn arena_matches_direct_dispatch_for_scripted_programs() {
+    let us = SimDuration::from_micros;
+    let script = vec![
+        Segment::User { dur: us(3) },
+        Segment::WorkUnit,
+        Segment::User { dur: us(1) },
+    ];
+    // Finite script: the arena must replay it once, then End forever.
+    let finite = script.clone();
+    assert_program_equivalent(
+        &move || Box::new(ScriptedProgram::new("finite", finite.clone())),
+        10,
+        "scripted",
+    );
+    // Looping script: the arena refills one full cycle at a time.
+    let cycle = script;
+    assert_program_equivalent(
+        &move || Box::new(ScriptedProgram::looping("cycle", cycle.clone())),
+        25,
+        "looping",
+    );
+}
+
+// ---------------------------------------------------------------------
+// Sharded event queue vs the single flat queue.
+// ---------------------------------------------------------------------
+
+/// Mirrors a push/cancel/pop/pop_at_or_before stream against a flat
+/// `EventQueue` with shard routing assigned the way the machine routes
+/// (a static function of the payload), asserting identical pop order.
+/// Complements the proptest in `simcore::event` with the 3-shard layout
+/// the machine actually uses.
+#[test]
+fn three_shard_queue_matches_flat_queue() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::new(0x3AD_0000 + seed);
+        let mut flat: EventQueue<u64> = EventQueue::new();
+        let mut sharded: ShardedEventQueue<u64> = ShardedEventQueue::new(3);
+        let mut keys = Vec::new(); // (flat key, shard key), parallel.
+        for step in 0..600 {
+            match rng.range_u64(0, 10) {
+                0..=4 => {
+                    let payload = rng.range_u64(0, 1 << 40);
+                    let shard = (payload % 3) as usize; // routing = f(payload)
+                    let at = SimTime::from_nanos(rng.range_u64(0, 2_000));
+                    keys.push((flat.push(at, payload), sharded.push(shard, at, payload)));
+                }
+                5 => {
+                    if !keys.is_empty() {
+                        let i = rng.range_u64(0, keys.len() as u64) as usize;
+                        let (fk, sk) = keys.swap_remove(i);
+                        assert_eq!(
+                            flat.cancel(fk),
+                            sharded.cancel(sk),
+                            "cancel diverged (seed {seed}, step {step})"
+                        );
+                    }
+                }
+                6 | 7 => {
+                    assert_eq!(
+                        flat.pop(),
+                        sharded.pop(),
+                        "pop diverged (seed {seed}, step {step})"
+                    );
+                }
+                _ => {
+                    let deadline = SimTime::from_nanos(rng.range_u64(0, 2_000));
+                    assert_eq!(
+                        flat.pop_at_or_before(deadline),
+                        sharded.pop_at_or_before(deadline),
+                        "pop_at_or_before diverged (seed {seed}, step {step})"
+                    );
+                }
+            }
+            assert_eq!(flat.peek_time(), sharded.peek_time(), "seed {seed}");
+        }
+        // Drain both to the end: the full ordering must agree.
+        loop {
+            let (a, b) = (flat.pop(), sharded.pop());
+            assert_eq!(a, b, "drain diverged (seed {seed})");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: fig4 and table2 quick grids.
+// ---------------------------------------------------------------------
+
+fn render(id: &str, seed: u64, jobs: usize) -> String {
+    let opts = experiments::RunOptions {
+        seed,
+        ..experiments::RunOptions::quick().with_jobs(jobs)
+    };
+    experiments::run_experiment(id, &opts)
+        .unwrap_or_else(|| panic!("unknown experiment {id}"))
+        .iter()
+        .map(|t| t.render_csv())
+        .collect()
+}
+
+/// The issue's end-to-end contract: fig4 and table2, quick grids, every
+/// seed, `--jobs 1` vs `--jobs 8` — byte-identical. The parallel run
+/// exercises the SoA queue, the arena, and the sharded queue inside
+/// every cell simultaneously; a divergence in any of them changes the
+/// rendered bytes. Slow under debug builds, so release-gated like the
+/// other whole-grid suites.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
+fn fig4_and_table2_byte_identical_across_jobs_and_seeds() {
+    for id in ["fig4", "table2"] {
+        for seed in [0xE005_2018u64, 7, 42] {
+            let serial = render(id, seed, 1);
+            let parallel = render(id, seed, 8);
+            assert_eq!(
+                serial, parallel,
+                "{id}: --jobs 8 diverged from --jobs 1 at seed {seed:#x}"
+            );
+            assert!(
+                serial.contains(','),
+                "{id}: rendered CSV looks empty at seed {seed:#x}"
+            );
+        }
+    }
+}
+
+/// Always-on smoke version of the above: one seed, the cheaper grid.
+#[test]
+fn table2_byte_identical_across_jobs_smoke() {
+    let serial = render("table2", 0xE005_2018, 1);
+    let parallel = render("table2", 0xE005_2018, 8);
+    assert_eq!(serial, parallel, "table2: --jobs 8 diverged from --jobs 1");
+}
