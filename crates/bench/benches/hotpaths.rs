@@ -236,9 +236,47 @@ fn bench_sim_second(c: &mut Criterion) {
     let _ = MachineConfig::paper_testbed();
 }
 
+/// Makespan of a fixed grid of sleep cells on 2 workers, FIFO admission
+/// vs a warm cost model's longest-estimated-first order. Cells sleep
+/// rather than compute, so the scheduling effect shows on any host core
+/// count: five 10 ms cells plus one 100 ms cell finish in ~120 ms when
+/// the long cell is claimed last (FIFO) and ~100 ms when the warm model
+/// front-loads it.
+fn bench_adaptive_admission(c: &mut Criterion) {
+    use experiments::runner::cost::{cell_key, CostModel, CostRecorder};
+    use experiments::runner::{parallel, pool};
+    use std::sync::Arc;
+
+    const CELL_MS: [u64; 6] = [10, 10, 10, 10, 10, 100];
+    let run_grid = || {
+        let order = parallel::run_indexed(2, CELL_MS.len(), |i| {
+            std::thread::sleep(std::time::Duration::from_millis(CELL_MS[i]));
+            i
+        });
+        std::hint::black_box(order)
+    };
+    c.bench_function("admission_fifo_makespan", |b| b.iter(run_grid));
+
+    let mut model = CostModel::default();
+    model.absorb(
+        &CELL_MS
+            .iter()
+            .enumerate()
+            .map(|(i, ms)| (cell_key("admission", 0, i), ms * 1_000_000))
+            .collect::<Vec<_>>(),
+    );
+    let model = Arc::new(model);
+    c.bench_function("admission_warm_makespan", |b| {
+        b.iter(|| {
+            let recorder = Arc::new(CostRecorder::default());
+            pool::with_costs("admission", &model, &recorder, run_grid)
+        })
+    });
+}
+
 criterion_group! {
     name = hotpaths;
     config = sim_criterion();
-    targets = bench_event_queue, bench_event_queue_cancel, bench_parallel_fanout, bench_runq_dispatch_scan, bench_segment_step, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second
+    targets = bench_event_queue, bench_event_queue_cancel, bench_parallel_fanout, bench_runq_dispatch_scan, bench_segment_step, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second, bench_adaptive_admission
 }
 criterion_main!(hotpaths);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [--seed N] [--jobs N] [--faults SPEC]
-//!       [--keep-going] [--paranoid] <experiment>...
+//!       [--keep-going] [--paranoid] [--costs PATH|off] [--record-costs]
+//!       <experiment>...
 //! repro all
 //! repro list
 //! ```
@@ -16,6 +17,17 @@
 //! experiments print in command-line order; `--jobs 1` also reproduces
 //! the serial execution order exactly.
 //!
+//! `--costs PATH` (default `COSTS.json`) loads persisted per-cell
+//! wall-clock records and admits cells **longest-estimated-first** across
+//! all queued experiments, so long cells cannot become the suite's tail;
+//! unrecorded cells use a grid-size heuristic, and a missing or corrupt
+//! file silently degrades to that heuristic. `--record-costs` folds this
+//! run's measured cell times back into the file (exponential moving
+//! average) and prints a per-experiment cost report to stderr.
+//! `--costs off` disables the model entirely (pure FIFO admission).
+//! Estimates steer only admission order, never results: stdout is
+//! byte-identical whichever model — warm, cold, or off — drives the run.
+//!
 //! `--faults SPEC` injects a deterministic fault plan into every run
 //! (SPEC like `seed=7,count=40` — see `hypervisor::FaultSpec`).
 //! `--keep-going` renders failed grid cells as `ERR` instead of aborting;
@@ -23,17 +35,20 @@
 //! (scenario, policy, seed) cell. `--paranoid` re-checks the machine
 //! invariants on every accounting tick.
 
+use experiments::runner::cost::{render_report, CostModel, CostRecorder};
 use experiments::runner::pool::{self, Budget};
 use experiments::{run_experiment, RunOptions, ALL_EXPERIMENTS};
 use hypervisor::FaultSpec;
 use metrics::render::Table;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--csv] [--seed N] [--jobs N] [--faults SPEC] \
-         [--keep-going] [--paranoid] <experiment>... | all | list"
+         [--keep-going] [--paranoid] [--costs PATH|off] [--record-costs] \
+         <experiment>... | all | list"
     );
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
@@ -48,6 +63,8 @@ fn default_jobs() -> usize {
 fn main() {
     let mut opts = RunOptions::default().with_jobs(default_jobs());
     let mut csv = false;
+    let mut costs_path: Option<PathBuf> = Some(PathBuf::from("COSTS.json"));
+    let mut record_costs = false;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -73,6 +90,11 @@ fn main() {
                     }
                 }
             }
+            "--costs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                costs_path = (v != "off").then(|| PathBuf::from(v));
+            }
+            "--record-costs" => record_costs = true,
             "--keep-going" => opts.keep_going = true,
             "--paranoid" => opts.paranoid = true,
             "list" => {
@@ -96,6 +118,40 @@ fn main() {
         eprintln!("unknown experiment {bad:?}");
         usage();
     }
+    if record_costs && costs_path.is_none() {
+        eprintln!("--record-costs has no effect with --costs off");
+        record_costs = false;
+    }
+    // The cost model is advisory: a missing/corrupt file loads empty and
+    // unrecorded cells fall back to the grid-size heuristic. Quick and
+    // full budgets record under distinct keys — their cells cost ~4x
+    // apart, and mixing them would whipsaw the averages.
+    let cost_setup: Option<(Arc<CostModel>, Arc<CostRecorder>)> = costs_path.as_ref().map(|p| {
+        (
+            Arc::new(CostModel::load(p)),
+            Arc::new(CostRecorder::default()),
+        )
+    });
+    let experiment_label = |id: &str| {
+        if opts.quick {
+            format!("{id}@quick")
+        } else {
+            id.to_string()
+        }
+    };
+    // Every experiment run goes through this wrapper so cost-ordered
+    // admission and recording apply uniformly to the streamed fan-out
+    // and the serial loop.
+    let run_one = |id: &str| -> Vec<Table> {
+        match &cost_setup {
+            Some((model, recorder)) => {
+                pool::with_costs(&experiment_label(id), model, recorder, || {
+                    run_experiment(id, &opts).expect("ids validated above")
+                })
+            }
+            None => run_experiment(id, &opts).expect("ids validated above"),
+        }
+    };
     if opts.jobs > 1 && ids.len() > 1 {
         // Cross-experiment fan-out: every experiment gets a driver
         // thread, and one global budget of `--jobs` permits gates cell
@@ -107,9 +163,7 @@ fn main() {
             ids.len(),
             |i| {
                 let started = Instant::now();
-                let tables = pool::with_budget(&budget, || {
-                    run_experiment(&ids[i], &opts).expect("ids validated above")
-                });
+                let tables = pool::with_budget(&budget, || run_one(&ids[i]));
                 (tables, started.elapsed())
             },
             |i, (tables, elapsed)| emit(&ids[i], tables, elapsed, csv),
@@ -117,8 +171,20 @@ fn main() {
     } else {
         for id in &ids {
             let started = Instant::now();
-            let tables = run_experiment(id, &opts).expect("ids validated above");
+            let tables = run_one(id);
             emit(id, tables, started.elapsed(), csv);
+        }
+    }
+    if record_costs {
+        if let (Some((model, recorder)), Some(path)) = (&cost_setup, &costs_path) {
+            let observations = recorder.take();
+            eprint!("{}", render_report(model, &observations));
+            let mut merged = (**model).clone();
+            merged.absorb(&observations);
+            match merged.save(path) {
+                Ok(()) => eprintln!("cost model: {} cells -> {}", merged.len(), path.display()),
+                Err(e) => eprintln!("cost model: could not write {}: {e}", path.display()),
+            }
         }
     }
 }

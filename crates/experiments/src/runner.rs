@@ -1,5 +1,6 @@
 //! Shared experiment machinery: policies, run options, and drivers.
 
+pub mod cost;
 pub mod parallel;
 pub mod pool;
 

@@ -1,0 +1,463 @@
+//! Persisted per-cell cost records driving adaptive fan-out admission.
+//!
+//! The global `--jobs` budget ([`pool`](super::pool)) admits cells the
+//! moment a permit frees, which is FIFO in arrival order: a long grid
+//! cell admitted late becomes the suite's critical path. This module
+//! supplies the feedback loop that fixes that (ROADMAP "Adaptive fan-out
+//! scheduling", DESIGN.md §4.6):
+//!
+//! - [`CostModel`] — per-cell wall-clock estimates persisted in
+//!   `COSTS.json` at the repo root, keyed by `(experiment, cell)` and
+//!   smoothed with an exponential moving average ([`EMA_ALPHA`]) so one
+//!   noisy run cannot whipsaw the schedule.
+//! - [`CostRecorder`] — a thread-safe sink the fan-out workers report
+//!   `(cell key, elapsed ns)` observations into while a suite runs.
+//! - [`admission_order`] — the deterministic longest-estimated-first
+//!   permutation a batch claims its cells in.
+//!
+//! Cells with no record fall back to a grid-size heuristic
+//! ([`heuristic_estimate`]): experiment grids cost the same order of
+//! wall-clock in total, so a cell of a small grid is presumed long and a
+//! cell of a large grid short. A missing or corrupt `COSTS.json`
+//! therefore degrades to heuristic ordering — it never aborts a run
+//! ([`CostModel::load`] cannot fail).
+//!
+//! Estimates steer only *when* a cell starts, never what it computes or
+//! where its result lands, so output bytes are independent of the model's
+//! contents — see the determinism argument in [`pool`](super::pool) and
+//! the `cost_scheduling_*` tests in `tests/determinism.rs`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Smoothing factor for the exponential moving average: each new sample
+/// contributes 40%, history 60%. High enough to track machine-to-machine
+/// moves within a few runs, low enough that one descheduled run does not
+/// reorder the whole schedule.
+pub const EMA_ALPHA: f64 = 0.4;
+
+/// Presumed total wall-clock of one experiment grid, used only to spread
+/// an *unrecorded* batch's estimate across its cells (see
+/// [`heuristic_estimate`]).
+const NOMINAL_BATCH_NS: u64 = 8_000_000_000;
+
+/// One cell's persisted cost history.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostRecord {
+    /// Exponentially smoothed wall-clock estimate in nanoseconds.
+    pub ema_ns: f64,
+    /// How many runs contributed to the average.
+    pub samples: u64,
+}
+
+impl CostRecord {
+    /// A record seeded from its first observation.
+    pub fn first(sample_ns: f64) -> Self {
+        CostRecord {
+            ema_ns: sample_ns,
+            samples: 1,
+        }
+    }
+
+    /// Folds one new wall-clock sample into the average:
+    /// `ema ← α·sample + (1−α)·ema`.
+    pub fn observe(&mut self, sample_ns: f64) {
+        self.ema_ns = EMA_ALPHA * sample_ns + (1.0 - EMA_ALPHA) * self.ema_ns;
+        self.samples += 1;
+    }
+}
+
+/// The key a cell's record is filed under: `experiment/batch:index`,
+/// where `batch` counts the experiment's fan-out calls in program order
+/// and `index` is the cell's position in that batch's grid. Experiments
+/// are deterministic code, so the key is stable across runs, job counts,
+/// and admission orders.
+pub fn cell_key(experiment: &str, batch: usize, index: usize) -> String {
+    format!("{experiment}/{batch}:{index}")
+}
+
+/// Grid-size fallback for cells with no record: assume every batch costs
+/// roughly `NOMINAL_BATCH_NS` (8 s) in total, so a cell of an `n`-cell grid
+/// is estimated at `NOMINAL_BATCH_NS / n`. Small grids (whose cells are
+/// typically long single simulations) are admitted before the cells of
+/// wide grids, which is the right bias cold.
+pub fn heuristic_estimate(batch_len: usize) -> u64 {
+    NOMINAL_BATCH_NS / batch_len.max(1) as u64
+}
+
+/// The deterministic admission permutation for a batch: indices sorted by
+/// estimated cost, longest first, ties broken by ascending index. Fixed
+/// estimates give a fixed permutation — the steal order never depends on
+/// thread timing.
+pub fn admission_order(estimates: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..estimates.len()).collect();
+    order.sort_by(|&a, &b| estimates[b].cmp(&estimates[a]).then(a.cmp(&b)));
+    order
+}
+
+/// A batch's admission plan: per-cell record keys, cost estimates, and
+/// the longest-first claim order workers follow.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// Record key of each cell, indexed by grid position.
+    pub keys: Vec<String>,
+    /// Estimated wall-clock of each cell in ns, indexed by grid position.
+    pub estimates: Vec<u64>,
+    /// Grid indices in the order workers should claim them.
+    pub order: Vec<usize>,
+}
+
+/// Per-cell cost estimates, loaded from and saved to `COSTS.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostModel {
+    records: BTreeMap<String, CostRecord>,
+}
+
+impl CostModel {
+    /// Loads a model from `path`. A missing, unreadable, or corrupt file
+    /// yields an empty (or partial) model — cost data is advisory, so
+    /// this never fails; unrecorded cells use [`heuristic_estimate`].
+    pub fn load(path: &Path) -> Self {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// Parses the `COSTS.json` format, skipping anything malformed: each
+    /// `"key"` fragment with a parseable `ema_ns` and `samples` becomes a
+    /// record, the rest is ignored.
+    pub fn parse(text: &str) -> Self {
+        let mut model = CostModel::default();
+        for chunk in text.split("\"key\"").skip(1) {
+            let Some((key, rest)) = quoted_value(chunk) else {
+                continue;
+            };
+            let Some(ema_ns) = field_number(rest, "\"ema_ns\"") else {
+                continue;
+            };
+            let Some(samples) = field_number(rest, "\"samples\"") else {
+                continue;
+            };
+            if !ema_ns.is_finite() || ema_ns < 0.0 || samples < 1.0 {
+                continue;
+            }
+            model.records.insert(
+                key.to_string(),
+                CostRecord {
+                    ema_ns,
+                    samples: samples as u64,
+                },
+            );
+        }
+        model
+    }
+
+    /// Renders the model as JSON (stable order: keys sort alphabetically).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"cells\": [\n");
+        let last = self.records.len().saturating_sub(1);
+        for (i, (key, r)) in self.records.iter().enumerate() {
+            let comma = if i == last { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"key\":\"{key}\",\"ema_ns\":{:.1},\"samples\":{}}}{comma}\n",
+                r.ema_ns, r.samples
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the model to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// The record for `key`, if one exists.
+    pub fn record(&self, key: &str) -> Option<&CostRecord> {
+        self.records.get(key)
+    }
+
+    /// Number of recorded cells.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the model holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Estimated wall-clock of the cell filed under `key`, in ns:
+    /// its EMA if recorded, the [`heuristic_estimate`] for a
+    /// `batch_len`-cell grid otherwise.
+    pub fn estimate(&self, key: &str, batch_len: usize) -> u64 {
+        match self.records.get(key) {
+            Some(r) => r.ema_ns.max(1.0) as u64,
+            None => heuristic_estimate(batch_len),
+        }
+    }
+
+    /// Builds the admission plan for batch `batch` of `experiment` with
+    /// `n` cells: keys, estimates, and the longest-first claim order.
+    pub fn plan_batch(&self, experiment: &str, batch: usize, n: usize) -> BatchPlan {
+        let keys: Vec<String> = (0..n).map(|i| cell_key(experiment, batch, i)).collect();
+        let estimates: Vec<u64> = keys.iter().map(|k| self.estimate(k, n)).collect();
+        let order = admission_order(&estimates);
+        BatchPlan {
+            keys,
+            estimates,
+            order,
+        }
+    }
+
+    /// Folds a run's `(key, elapsed ns)` observations into the model —
+    /// EMA update for known cells, fresh records for new ones.
+    pub fn absorb(&mut self, observations: &[(String, u64)]) {
+        for (key, elapsed_ns) in observations {
+            match self.records.get_mut(key) {
+                Some(r) => r.observe(*elapsed_ns as f64),
+                None => {
+                    self.records
+                        .insert(key.clone(), CostRecord::first(*elapsed_ns as f64));
+                }
+            }
+        }
+    }
+}
+
+/// Parses the quoted string value following `: "` in `chunk` (which
+/// starts right after a `"key"` marker). Returns the value and the
+/// remainder after its closing quote.
+fn quoted_value(chunk: &str) -> Option<(&str, &str)> {
+    let rest = chunk.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some((&rest[..end], &rest[end + 1..]))
+}
+
+/// Parses the number following `field":` in `text`, stopping at the next
+/// `,` or `}`.
+fn field_number(text: &str, field: &str) -> Option<f64> {
+    let start = text.find(field)? + field.len();
+    let rest = text[start..].trim_start().strip_prefix(':')?;
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse::<f64>().ok()
+}
+
+/// Collects `(cell key, elapsed ns)` observations from fan-out workers
+/// while a suite runs. Shared by `Arc` between the drivers' workers and
+/// the `repro` binary, which folds the observations into the persisted
+/// model at exit (`--record-costs`).
+#[derive(Debug, Default)]
+pub struct CostRecorder {
+    observations: Mutex<Vec<(String, u64)>>,
+}
+
+impl CostRecorder {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(String, u64)>> {
+        // A worker panicking mid-push cannot corrupt a Vec of completed
+        // entries; recover rather than cascade the poison.
+        self.observations
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Records that the cell filed under `key` took `elapsed_ns`.
+    pub fn record(&self, key: String, elapsed_ns: u64) {
+        self.lock().push((key, elapsed_ns));
+    }
+
+    /// Takes every observation recorded so far, leaving the recorder
+    /// empty.
+    pub fn take(&self) -> Vec<(String, u64)> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+/// Renders the end-of-run cost-table report: one line per experiment
+/// with its cell count, observed wall-clock, and how many of its cells
+/// were already warm in `before` (the model the run was admitted with).
+pub fn render_report(before: &CostModel, observations: &[(String, u64)]) -> String {
+    struct Row {
+        cells: usize,
+        warm: usize,
+        total_ns: u64,
+    }
+    let mut rows: BTreeMap<&str, Row> = BTreeMap::new();
+    for (key, elapsed_ns) in observations {
+        let experiment = key.split('/').next().unwrap_or(key);
+        let row = rows.entry(experiment).or_insert(Row {
+            cells: 0,
+            warm: 0,
+            total_ns: 0,
+        });
+        row.cells += 1;
+        row.warm += usize::from(before.record(key).is_some());
+        row.total_ns += elapsed_ns;
+    }
+    let mut out = String::from("cost model: per-experiment observations\n");
+    out.push_str("  experiment      cells  warm   observed\n");
+    for (experiment, row) in &rows {
+        out.push_str(&format!(
+            "  {experiment:<14} {:>6} {:>5} {:>9.2}s\n",
+            row.cells,
+            format!("{}/{}", row.warm, row.cells),
+            row.total_ns as f64 / 1e9,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ema_update_math() {
+        let mut r = CostRecord::first(1000.0);
+        assert_eq!(r.ema_ns, 1000.0);
+        assert_eq!(r.samples, 1);
+        r.observe(2000.0);
+        // 0.4 * 2000 + 0.6 * 1000 = 1400.
+        assert!((r.ema_ns - 1400.0).abs() < 1e-9, "ema = {}", r.ema_ns);
+        assert_eq!(r.samples, 2);
+        r.observe(1400.0);
+        assert!((r.ema_ns - 1400.0).abs() < 1e-9, "steady state must hold");
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let mut m = CostModel::default();
+        m.absorb(&[
+            ("fig4/0:0".to_string(), 1_500_000),
+            ("fig4/0:1".to_string(), 2_500_000),
+            ("table2/1:0".to_string(), 900_000),
+        ]);
+        let back = CostModel::parse(&m.to_json());
+        assert_eq!(back.len(), 3);
+        for key in ["fig4/0:0", "fig4/0:1", "table2/1:0"] {
+            let (a, b) = (m.record(key).unwrap(), back.record(key).unwrap());
+            assert!((a.ema_ns - b.ema_ns).abs() < 1.0, "{key} drifted");
+            assert_eq!(a.samples, b.samples);
+        }
+    }
+
+    #[test]
+    fn corrupt_json_degrades_to_heuristic_never_panics() {
+        for garbage in [
+            "",
+            "not json at all",
+            "{\"version\":1,\"cells\":[",
+            "{\"cells\":[{\"key\":\"a/0:0\",\"ema_ns\":NaN,\"samples\":1}]}",
+            "{\"cells\":[{\"key\":\"a/0:0\",\"ema_ns\":-5,\"samples\":1}]}",
+            "{\"cells\":[{\"key\":\"a/0:0\",\"ema_ns\":}]}",
+            "{\"cells\":[{\"key\":\"a/0:0\"}]}",
+            "\u{0}\u{1}\u{2}",
+        ] {
+            let m = CostModel::parse(garbage);
+            assert!(m.is_empty(), "parsed records out of {garbage:?}");
+            assert_eq!(m.estimate("a/0:0", 8), heuristic_estimate(8));
+        }
+        // Partial corruption keeps the intact records.
+        let m = CostModel::parse(
+            "{\"cells\":[{\"key\":\"a/0:0\",\"ema_ns\":oops,\"samples\":2},\
+             {\"key\":\"a/0:1\",\"ema_ns\":500.0,\"samples\":2}]}",
+        );
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.estimate("a/0:1", 8), 500);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let m = CostModel::load(Path::new("/nonexistent/dir/COSTS.json"));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn load_reads_saved_file() {
+        let path = std::env::temp_dir().join(format!("costs_test_{}.json", std::process::id()));
+        let mut m = CostModel::default();
+        m.absorb(&[("fig9/0:2".to_string(), 3_000_000)]);
+        m.save(&path).unwrap();
+        let back = CostModel::load(&path);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.estimate("fig9/0:2", 4), 3_000_000);
+    }
+
+    #[test]
+    fn heuristic_favors_small_grids() {
+        assert!(heuristic_estimate(2) > heuristic_estimate(28));
+        assert_eq!(heuristic_estimate(0), heuristic_estimate(1));
+    }
+
+    #[test]
+    fn admission_order_is_longest_first_and_deterministic() {
+        let estimates = [50, 900, 900, 10, 400];
+        let order = admission_order(&estimates);
+        // Longest first; the 900 tie breaks by ascending index.
+        assert_eq!(order, vec![1, 2, 4, 0, 3]);
+        assert_eq!(order, admission_order(&estimates), "order must be stable");
+        // Uniform estimates (the cold case) reduce to FIFO index order.
+        assert_eq!(admission_order(&[7, 7, 7]), vec![0, 1, 2]);
+        assert_eq!(admission_order(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn plan_batch_uses_records_and_falls_back() {
+        let mut m = CostModel::default();
+        m.absorb(&[
+            (cell_key("fig4", 0, 3), 9_000_000),
+            (cell_key("fig4", 0, 1), 2_000_000),
+        ]);
+        let plan = m.plan_batch("fig4", 0, 4);
+        assert_eq!(plan.keys[2], "fig4/0:2");
+        assert_eq!(plan.estimates[3], 9_000_000);
+        assert_eq!(plan.estimates[1], 2_000_000);
+        assert_eq!(plan.estimates[0], heuristic_estimate(4));
+        // Heuristic (8e9/4 = 2e9) dominates the recorded millisecond
+        // cells, so unknown cells go first, then recorded longest-first.
+        assert_eq!(plan.order, vec![0, 2, 3, 1]);
+        // Same records, same plan: the steal order is deterministic.
+        assert_eq!(plan.order, m.plan_batch("fig4", 0, 4).order);
+    }
+
+    #[test]
+    fn recorder_collects_and_drains() {
+        let rec = CostRecorder::default();
+        assert!(rec.is_empty());
+        rec.record("a/0:0".to_string(), 10);
+        rec.record("a/0:1".to_string(), 20);
+        assert_eq!(rec.len(), 2);
+        let obs = rec.take();
+        assert_eq!(obs.len(), 2);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn report_groups_by_experiment() {
+        let mut before = CostModel::default();
+        before.absorb(&[("fig4/0:0".to_string(), 1_000_000_000)]);
+        let obs = vec![
+            ("fig4/0:0".to_string(), 2_000_000_000),
+            ("fig4/0:1".to_string(), 1_000_000_000),
+            ("table2/0:0".to_string(), 500_000_000),
+        ];
+        let report = render_report(&before, &obs);
+        assert!(report.contains("fig4"), "{report}");
+        assert!(report.contains("1/2"), "warm coverage missing: {report}");
+        assert!(report.contains("3.00s"), "fig4 total missing: {report}");
+        assert!(report.contains("table2"), "{report}");
+    }
+}

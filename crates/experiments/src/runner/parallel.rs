@@ -27,14 +27,24 @@
 //! worker, so they need no `Send` bound.
 //!
 //! When several experiments run concurrently (`repro all`), the calling
-//! thread carries a global [`pool::Budget`](super::pool::Budget): each
+//! thread carries a global [`pool::Budget`]: each
 //! cell then also acquires a suite-wide permit before executing, so
 //! `--jobs` bounds concurrent simulations across *all* experiments, not
 //! per batch. Permits gate only *when* a cell runs — results stay a pure
 //! function of the index, and collection order is unchanged.
+//!
+//! The calling thread may additionally carry a
+//! [`pool::CostContext`] (`repro --costs`): the batch then claims its
+//! cells in the [`cost`](super::cost) model's longest-estimated-first
+//! order, waits on the budget at its cells' estimated priorities (so
+//! freed permits steal the longest pending cell suite-wide), and reports
+//! each cell's wall-clock to the context's recorder. All of that steers
+//! only admission: results are still collected by grid index, so the
+//! rendered bytes match the FIFO schedule exactly.
 
 use super::pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Runs `f(0), f(1), …, f(n - 1)` across up to `jobs` worker threads and
 /// returns the results in index order.
@@ -57,11 +67,36 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let budget = pool::current_budget();
+    // The admission plan (cell keys, estimates, longest-first claim
+    // order) is computed for every batch the context sees — including
+    // serial and single-cell ones — so batch sequence numbers, and with
+    // them the persisted cell keys, never depend on `jobs` or `n`.
+    let costs = pool::current_costs();
+    let plan = costs.as_ref().map(|ctx| ctx.plan_batch(n));
+    let recorder = costs.as_ref().map(|ctx| ctx.recorder());
+    let timed = |i: usize, f: &F| -> T {
+        let started = Instant::now();
+        let out = f(i);
+        if let (Some(plan), Some(recorder)) = (&plan, &recorder) {
+            let elapsed = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            recorder.record(plan.keys[i].clone(), elapsed);
+        }
+        out
+    };
     if jobs <= 1 || n <= 1 {
+        // The serial path keeps plain index order (documented: `--jobs 1`
+        // reproduces the historical serial execution exactly) but still
+        // waits on the budget at each cell's estimated priority — a
+        // single-cell batch under the global budget must compete for
+        // permits at its real cost — and records costs, so even serial
+        // runs warm the model.
         return (0..n)
             .map(|i| {
-                let _permit = budget.as_ref().map(|b| b.acquire());
-                f(i)
+                let _permit = budget.as_ref().map(|b| match &plan {
+                    Some(p) => b.acquire_ordered(p.estimates[i]),
+                    None => b.acquire(),
+                });
+                timed(i, &f)
             })
             .collect();
     }
@@ -73,12 +108,20 @@ where
                 scope.spawn(|| {
                     let mut out = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let pos = next.fetch_add(1, Ordering::Relaxed);
+                        if pos >= n {
                             break;
                         }
-                        let _permit = budget.as_ref().map(|b| b.acquire());
-                        out.push((i, f(i)));
+                        // With a plan, claim cells longest-estimated
+                        // first and wait on the budget at the cell's
+                        // estimate, so permits freed anywhere in the
+                        // suite go to the longest pending cell.
+                        let i = plan.as_ref().map_or(pos, |p| p.order[pos]);
+                        let _permit = budget.as_ref().map(|b| match &plan {
+                            Some(p) => b.acquire_ordered(p.estimates[i]),
+                            None => b.acquire(),
+                        });
+                        out.push((i, timed(i, &f)));
                     }
                     out
                 })

@@ -1,5 +1,5 @@
 //! Cross-experiment fan-out: one global `--jobs` budget for the whole
-//! suite.
+//! suite, with cost-ordered admission.
 //!
 //! [`parallel::run_indexed`](super::parallel::run_indexed) fans the cells
 //! of *one* experiment across workers. Driving `repro all` through it
@@ -11,28 +11,75 @@
 //! them — cells from different experiments overlap, but never more than
 //! `--jobs` simulations run at once.
 //!
+//! Admission is cost-ordered, not FIFO. Waiters queue with a priority —
+//! their cell's estimated wall-clock from the persisted
+//! [`CostModel`] — and each freed permit goes to
+//! the **longest-estimated pending cell across every queued experiment**
+//! (ties admit in arrival order). The effect is work-stealing along the
+//! critical path: the moment one experiment's workers idle (its grid
+//! drained), their permits are re-granted to whichever other experiment
+//! holds the longest outstanding cells, so long cells start early instead
+//! of becoming the suite's tail. Drivers install the estimates via
+//! [`with_costs`]; without a cost context every waiter has priority 0 and
+//! the budget degrades to plain FIFO.
+//!
 //! Determinism is untouched by construction. The budget only decides
 //! *when* a cell runs, never *what* it computes: each cell is a pure
 //! function of its grid index (see [`parallel`](super::parallel)), each
 //! batch still collects results in index order, and [`run_streamed`]
 //! commits whole experiments in submission order. `repro all --jobs N`
-//! is byte-identical on stdout for every `N`.
+//! is byte-identical on stdout for every `N` — and for every cost model,
+//! warm, cold, or absent (`tests/determinism.rs` holds both).
 //!
 //! The machinery is permit-based rather than a single type-erased job
 //! queue: experiment closures borrow their grids and options from the
 //! driver's stack, so handing them to long-lived pool workers would need
 //! `'static` erasure. Gating the existing scoped workers with a shared
-//! semaphore gives the same schedule envelope with no `unsafe` and no
-//! new dependencies.
+//! priority semaphore gives the same schedule envelope with no `unsafe`
+//! and no new dependencies.
 
-use std::cell::RefCell;
+use super::cost::{BatchPlan, CostModel, CostRecorder};
+use std::cell::{Cell, RefCell};
+use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+/// A queued admission request: highest estimated cost wins, ties go to
+/// the earlier arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ticket {
+    priority: u64,
+    seq: u64,
+}
+
+impl Ord for Ticket {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then *lower* sequence number.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Ticket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct BudgetState {
+    permits: usize,
+    waiters: BinaryHeap<Ticket>,
+    next_seq: u64,
+}
+
 /// A counting semaphore bounding how many experiment cells run at once
-/// across every in-flight experiment.
+/// across every in-flight experiment, admitting waiters
+/// longest-estimated-first (see [`Budget::acquire_ordered`]).
 #[derive(Debug)]
 pub struct Budget {
-    permits: Mutex<usize>,
+    state: Mutex<BudgetState>,
     available: Condvar,
 }
 
@@ -41,33 +88,69 @@ impl Budget {
     /// zero-permit budget would deadlock the first acquirer).
     pub fn new(permits: usize) -> Self {
         Budget {
-            permits: Mutex::new(permits.max(1)),
+            state: Mutex::new(BudgetState {
+                permits: permits.max(1),
+                waiters: BinaryHeap::new(),
+                next_seq: 0,
+            }),
             available: Condvar::new(),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, usize> {
+    fn lock(&self) -> MutexGuard<'_, BudgetState> {
         // A panicking cell never holds this lock (permits are held across
         // `f(i)`, the lock only around the counter update), so poison is
         // spurious; recover rather than cascade.
-        self.permits
+        self.state
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Blocks until a permit is free and takes it. The permit returns to
-    /// the pool when the guard drops — including on unwind, so a
-    /// panicking cell cannot leak the suite's concurrency.
+    /// Blocks until a permit is free and takes it, FIFO among priority-0
+    /// waiters. Equivalent to [`acquire_ordered`](Self::acquire_ordered)
+    /// with priority 0.
     pub fn acquire(&self) -> BudgetGuard<'_> {
-        let mut permits = self.lock();
-        while *permits == 0 {
-            permits = self
+        self.acquire_ordered(0)
+    }
+
+    /// Blocks until a permit is free *and* no pending waiter outranks
+    /// `priority` (estimated cell cost in ns), then takes the permit.
+    /// Permits therefore always go to the longest-estimated pending cell
+    /// suite-wide; equal priorities admit in arrival order, so a fixed
+    /// cost model gives a fixed admission discipline. The permit returns
+    /// to the pool when the guard drops — including on unwind, so a
+    /// panicking cell cannot leak the suite's concurrency.
+    pub fn acquire_ordered(&self, priority: u64) -> BudgetGuard<'_> {
+        let mut st = self.lock();
+        let ticket = Ticket {
+            priority,
+            seq: st.next_seq,
+        };
+        st.next_seq += 1;
+        st.waiters.push(ticket);
+        loop {
+            if st.permits > 0 && st.waiters.peek() == Some(&ticket) {
+                st.waiters.pop();
+                st.permits -= 1;
+                if st.permits > 0 && !st.waiters.is_empty() {
+                    // Permits remain for the next-ranked waiter; wake the
+                    // herd so the new head can claim one.
+                    self.available.notify_all();
+                }
+                return BudgetGuard { budget: self };
+            }
+            st = self
                 .available
-                .wait(permits)
+                .wait(st)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
-        *permits -= 1;
-        BudgetGuard { budget: self }
+    }
+
+    /// How many admission requests are currently queued waiting for a
+    /// permit. Diagnostic only — the count is stale the moment the lock
+    /// drops; tests use it to wait for contention to build up.
+    pub fn queued_waiters(&self) -> usize {
+        self.lock().waiters.len()
     }
 }
 
@@ -79,13 +162,16 @@ pub struct BudgetGuard<'a> {
 
 impl Drop for BudgetGuard<'_> {
     fn drop(&mut self) {
-        *self.budget.lock() += 1;
-        self.budget.available.notify_one();
+        self.budget.lock().permits += 1;
+        // The condvar cannot target the top-ranked waiter, so wake them
+        // all; each re-checks rank under the lock.
+        self.budget.available.notify_all();
     }
 }
 
 thread_local! {
     static ACTIVE: RefCell<Option<Arc<Budget>>> = const { RefCell::new(None) };
+    static COSTS: RefCell<Option<Rc<CostContext>>> = const { RefCell::new(None) };
 }
 
 /// Runs `f` with `budget` installed as this thread's active budget:
@@ -109,6 +195,70 @@ pub fn with_budget<R>(budget: &Arc<Budget>, f: impl FnOnce() -> R) -> R {
 /// The budget installed on the calling thread, if any.
 pub fn current_budget() -> Option<Arc<Budget>> {
     ACTIVE.with(|slot| slot.borrow().clone())
+}
+
+/// One driver's cost-scheduling state: which experiment it is running,
+/// the shared read-only [`CostModel`] snapshot estimates come from, the
+/// shared [`CostRecorder`] observations go to, and a counter assigning
+/// each fan-out batch its stable sequence number.
+#[derive(Debug)]
+pub struct CostContext {
+    experiment: String,
+    model: Arc<CostModel>,
+    recorder: Arc<CostRecorder>,
+    batches: Cell<usize>,
+}
+
+impl CostContext {
+    /// Builds the admission plan for the next batch of `n` cells,
+    /// consuming one batch sequence number. Called once per
+    /// [`run_indexed`](super::parallel::run_indexed) invocation on the
+    /// driver thread, in program order, so cell keys are stable across
+    /// runs and job counts.
+    pub fn plan_batch(&self, n: usize) -> BatchPlan {
+        let batch = self.batches.get();
+        self.batches.set(batch + 1);
+        self.model.plan_batch(&self.experiment, batch, n)
+    }
+
+    /// The shared observation sink (cloned into worker threads).
+    pub fn recorder(&self) -> Arc<CostRecorder> {
+        self.recorder.clone()
+    }
+}
+
+/// Runs `f` with a cost context installed on this thread: batches started
+/// under it are admitted longest-estimated-first per `model` and report
+/// their wall-clock into `recorder` under `experiment`-prefixed cell
+/// keys. The previous context is restored afterwards, even if `f`
+/// unwinds. Composes with [`with_budget`]; either works alone.
+pub fn with_costs<R>(
+    experiment: &str,
+    model: &Arc<CostModel>,
+    recorder: &Arc<CostRecorder>,
+    f: impl FnOnce() -> R,
+) -> R {
+    struct Restore(Option<Rc<CostContext>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            COSTS.with(|slot| *slot.borrow_mut() = prev);
+        }
+    }
+    let ctx = Rc::new(CostContext {
+        experiment: experiment.to_string(),
+        model: model.clone(),
+        recorder: recorder.clone(),
+        batches: Cell::new(0),
+    });
+    let prev = COSTS.with(|slot| slot.borrow_mut().replace(ctx));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The cost context installed on the calling thread, if any.
+pub fn current_costs() -> Option<Rc<CostContext>> {
+    COSTS.with(|slot| slot.borrow().clone())
 }
 
 /// Drives `run(0), …, run(n - 1)` on one thread each, committing results
@@ -222,6 +372,54 @@ mod tests {
     }
 
     #[test]
+    fn contended_permits_admit_longest_estimate_first() {
+        let budget = Budget::new(1);
+        let admitted = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let gate = budget.acquire(); // hold the only permit
+            for priority in [10u64, 500, 90] {
+                let (budget, admitted) = (&budget, &admitted);
+                scope.spawn(move || {
+                    let _permit = budget.acquire_ordered(priority);
+                    admitted.lock().unwrap().push(priority);
+                });
+            }
+            // Wait until all three waiters are queued, then open the gate.
+            while budget.queued_waiters() < 3 {
+                std::thread::yield_now();
+            }
+            drop(gate);
+        });
+        assert_eq!(
+            *admitted.lock().unwrap(),
+            vec![500, 90, 10],
+            "admission must be longest-estimated-first"
+        );
+    }
+
+    #[test]
+    fn equal_priorities_admit_in_arrival_order() {
+        let budget = Budget::new(1);
+        let admitted = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let gate = budget.acquire();
+            for arrival in 0..4u64 {
+                let (budget, admitted) = (&budget, &admitted);
+                scope.spawn(move || {
+                    let _permit = budget.acquire_ordered(7);
+                    admitted.lock().unwrap().push(arrival);
+                });
+                // Queue one at a time so arrival order is well-defined.
+                while budget.queued_waiters() < (arrival + 1) as usize {
+                    std::thread::yield_now();
+                }
+            }
+            drop(gate);
+        });
+        assert_eq!(*admitted.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
     fn with_budget_installs_and_restores() {
         assert!(current_budget().is_none());
         let budget = Arc::new(Budget::new(3));
@@ -240,6 +438,32 @@ mod tests {
         }));
         assert!(result.is_err());
         assert!(current_budget().is_none(), "TLS budget leaked past unwind");
+    }
+
+    #[test]
+    fn with_costs_installs_numbers_batches_and_restores() {
+        assert!(current_costs().is_none());
+        let model = Arc::new(CostModel::default());
+        let recorder = Arc::new(CostRecorder::default());
+        with_costs("fig4", &model, &recorder, || {
+            let ctx = current_costs().expect("cost context installed");
+            let first = ctx.plan_batch(3);
+            let second = ctx.plan_batch(2);
+            assert_eq!(first.keys[0], "fig4/0:0");
+            assert_eq!(second.keys[1], "fig4/1:1");
+        });
+        assert!(current_costs().is_none());
+    }
+
+    #[test]
+    fn with_costs_restores_on_unwind() {
+        let model = Arc::new(CostModel::default());
+        let recorder = Arc::new(CostRecorder::default());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_costs("fig4", &model, &recorder, || panic!("driver failure"));
+        }));
+        assert!(result.is_err());
+        assert!(current_costs().is_none(), "TLS context leaked past unwind");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! The heart of the crate is [`machine::Machine`]: it owns the event queue,
 //! the pCPUs, the VMs (with their guest-kernel models from the `guest`
 //! crate), the statistics, and the policy, and advances simulated time.
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod error;

@@ -29,6 +29,7 @@
 //! assert_eq!(ev, "micro slice expiry");
 //! assert_eq!(t.as_micros(), 100);
 //! ```
+#![warn(missing_docs)]
 
 pub mod event;
 pub mod ids;

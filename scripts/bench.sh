@@ -23,4 +23,41 @@ export BENCH_LABEL="${BENCH_LABEL:-current}"
 export BENCH_MEASURE_SECS="${BENCH_MEASURE_SECS:-3}"
 
 cargo bench -p bench --bench hotpaths -- "$@"
+
+# With no filter args (a full run), also time the real quick suite end to
+# end: FIFO admission, a cold cost file (heuristic order + recording),
+# and a warm rerun over the records the cold pass persisted. The
+# cold-vs-warm delta is the adaptive-admission payoff on real cells.
+if [ "$#" -eq 0 ]; then
+    cargo build --release -p experiments --bin repro >/dev/null 2>&1
+    repro=target/release/repro
+    suite_costs="$(mktemp -u)"
+    time_suite() { # time_suite <name> <extra repro args...>
+        local name="$1"
+        shift
+        local samples=3 total=0 min=""
+        for _ in $(seq "$samples"); do
+            local t0 t1 dt
+            t0="$(date +%s%N)"
+            "$repro" --quick --jobs 8 "$@" all >/dev/null 2>/dev/null
+            t1="$(date +%s%N)"
+            dt=$((t1 - t0))
+            total=$((total + dt))
+            if [ -z "$min" ] || [ "$dt" -lt "$min" ]; then min="$dt"; fi
+        done
+        printf '{"name":"%s","mean_ns":%d,"min_ns":%d,"samples":%d,"label":"%s"}\n' \
+            "$name" "$((total / samples))" "$min" "$samples" "$BENCH_LABEL" >> "$BENCH_JSON"
+        echo "suite ${name}: mean $((total / samples / 1000000)) ms over ${samples} runs"
+    }
+    time_suite repro_suite_quick_fifo --costs off
+    # One recording pass to warm the cost file, then time cold-style
+    # (heuristic only) and warm (recorded EMAs) admission.
+    rm -f "$suite_costs"
+    "$repro" --quick --jobs 8 --costs "$suite_costs" --record-costs all >/dev/null 2>/dev/null
+    time_suite repro_suite_quick_warm --costs "$suite_costs"
+    rm -f "$suite_costs"
+    time_suite repro_suite_quick_cold --costs "$suite_costs"
+    rm -f "$suite_costs"
+fi
+
 echo "appended results to ${BENCH_JSON} (label: ${BENCH_LABEL})"

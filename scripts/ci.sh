@@ -13,11 +13,36 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== build (release) ==" >&2
 cargo build --release
 
+echo "== doc build (deny warnings) ==" >&2
+# Broken intra-doc links and missing docs (simcore/hypervisor carry
+# #![warn(missing_docs)]) fail fast here instead of rotting.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "== tests ==" >&2
 cargo test -q
 
-echo "== repro all --quick --jobs 2 ==" >&2
-cargo run --release -p experiments --bin repro -- --quick --jobs 2 all > /dev/null
+echo "== adaptive admission byte-identity (off vs cold vs warm) ==" >&2
+# The quick suite must render identical stdout whether admission is FIFO
+# (--costs off), heuristic-ordered (cold COSTS file), or cost-ordered
+# from the records the cold run just persisted (warm). Doubles as the
+# quick-repro smoke.
+ci_costs="$(mktemp -u)"
+ci_out="$(mktemp -d)"
+cargo run --release -p experiments --bin repro -- \
+    --quick --jobs 2 --costs off all > "$ci_out/off.txt"
+cargo run --release -p experiments --bin repro -- \
+    --quick --jobs 2 --costs "$ci_costs" --record-costs all > "$ci_out/cold.txt" 2> /dev/null
+cargo run --release -p experiments --bin repro -- \
+    --quick --jobs 2 --costs "$ci_costs" all > "$ci_out/warm.txt"
+cmp "$ci_out/off.txt" "$ci_out/cold.txt" || {
+    echo "cold COSTS admission changed repro output" >&2
+    exit 1
+}
+cmp "$ci_out/off.txt" "$ci_out/warm.txt" || {
+    echo "warm COSTS admission changed repro output" >&2
+    exit 1
+}
+rm -rf "$ci_costs" "$ci_out"
 
 echo "== fault-fuzz smoke (fixed seeds) ==" >&2
 # The 100-plan property harness plus the empty-plan byte-identity check;

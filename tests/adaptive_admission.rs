@@ -1,0 +1,147 @@
+//! Adaptive fan-out admission: a warm cost model must shorten the
+//! makespan of an unbalanced grid, steal the longest pending cell across
+//! experiments, and never change what a batch returns.
+//!
+//! The grids here sleep instead of computing, so the scheduling effects
+//! are visible on any host core count (sleeps overlap even on one CPU).
+
+use experiments::runner::cost::{cell_key, CostModel, CostRecorder};
+use experiments::runner::{parallel, pool};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Builds a model that knows each cell of `experiment`'s batch 0 takes
+/// `cells_ms[i]` milliseconds.
+fn warm_model(experiment: &str, cells_ms: &[u64]) -> Arc<CostModel> {
+    let mut model = CostModel::default();
+    model.absorb(
+        &cells_ms
+            .iter()
+            .enumerate()
+            .map(|(i, ms)| (cell_key(experiment, 0, i), ms * 1_000_000))
+            .collect::<Vec<_>>(),
+    );
+    Arc::new(model)
+}
+
+/// Five short cells and one long one on two workers: FIFO claims the
+/// long cell last (makespan ≈ 20 ms + long), the warm model front-loads
+/// it (makespan ≈ long). The structural gap is 20 ms — far above sleep
+/// jitter — and results must be index-ordered either way.
+#[test]
+fn warm_model_shortens_unbalanced_grid_makespan() {
+    const CELLS_MS: [u64; 6] = [10, 10, 10, 10, 10, 100];
+    let run_grid = || {
+        let started = Instant::now();
+        let out = parallel::run_indexed(2, CELLS_MS.len(), |i| {
+            std::thread::sleep(Duration::from_millis(CELLS_MS[i]));
+            i * 3
+        });
+        (out, started.elapsed())
+    };
+
+    let (fifo_out, fifo) = run_grid();
+    let recorder = Arc::new(CostRecorder::default());
+    let (warm_out, warm) =
+        pool::with_costs("mk", &warm_model("mk", &CELLS_MS), &recorder, run_grid);
+
+    assert_eq!(fifo_out, warm_out, "admission order changed the results");
+    assert_eq!(warm_out, (0..6).map(|i| i * 3).collect::<Vec<_>>());
+    assert!(
+        warm < fifo,
+        "longest-first admission did not shorten the makespan: warm {warm:?} vs fifo {fifo:?}"
+    );
+    // Structural bound: warm ≈ 100 ms, FIFO ≈ 120 ms. Allow generous
+    // scheduler slop on both sides of the 20 ms gap.
+    assert!(
+        fifo - warm > Duration::from_millis(8),
+        "makespan gap collapsed: warm {warm:?} vs fifo {fifo:?}"
+    );
+}
+
+/// Cross-experiment stealing: two driver threads share a one-permit
+/// budget. Driver A's cells are estimated short, driver B's long; every
+/// time a permit frees with both queued, B's cell must win it.
+#[test]
+fn freed_permits_go_to_longest_estimated_experiment() {
+    let budget = Arc::new(pool::Budget::new(1));
+    let admitted: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let recorder = Arc::new(CostRecorder::default());
+    let short = warm_model("short", &[1, 1, 1]);
+    let long = warm_model("long", &[40, 40, 40]);
+
+    // Hold the only permit until both drivers have queued all six cells,
+    // so the admission order is decided purely by estimates.
+    let gate = budget.acquire();
+    std::thread::scope(|scope| {
+        for (label, model) in [("short", &short), ("long", &long)] {
+            let (budget, admitted, recorder) = (&budget, &admitted, &recorder);
+            scope.spawn(move || {
+                // Three workers per driver so all six cells queue their
+                // admission tickets concurrently; the cells themselves
+                // finish instantly, so the admission order is decided
+                // entirely by the estimates queued behind the gate.
+                pool::with_budget(budget, || {
+                    pool::with_costs(label, model, recorder, || {
+                        parallel::run_indexed(3, 3, |_| {
+                            admitted.lock().unwrap().push(label);
+                        });
+                    })
+                })
+            });
+        }
+        while budget.queued_waiters() < 6 {
+            std::thread::yield_now();
+        }
+        drop(gate);
+    });
+    assert_eq!(
+        *admitted.lock().unwrap(),
+        vec!["long", "long", "long", "short", "short", "short"],
+        "permits must steal the longest-estimated pending cells first"
+    );
+}
+
+/// The steal order is a pure function of the records: the same model
+/// plans the same admission permutation every time, and recorded cells
+/// outrank the heuristic exactly when their EMA is larger.
+#[test]
+fn steal_order_is_deterministic_given_fixed_records() {
+    let model = warm_model("det", &[20, 5, 90, 5, 40]);
+    let recorder = Arc::new(CostRecorder::default());
+    let plan_once = || {
+        pool::with_costs("det", &model, &recorder, || {
+            pool::current_costs()
+                .expect("context installed")
+                .plan_batch(5)
+        })
+    };
+    let first = plan_once();
+    assert_eq!(first.order, vec![2, 4, 0, 1, 3]);
+    assert_eq!(first.order, plan_once().order);
+    assert_eq!(first.estimates, plan_once().estimates);
+}
+
+/// Serial fan-out (`--jobs 1`) keeps strict index order — the historical
+/// serial schedule — even under a warm model, while still recording
+/// costs for the next run.
+#[test]
+fn serial_path_ignores_plan_order_but_records() {
+    const CELLS_MS: [u64; 3] = [30, 1, 1];
+    let recorder = Arc::new(CostRecorder::default());
+    let executed = Mutex::new(Vec::new());
+    pool::with_costs(
+        "serial",
+        &warm_model("serial", &CELLS_MS),
+        &recorder,
+        || {
+            parallel::run_indexed(1, 3, |i| {
+                executed.lock().unwrap().push(i);
+            });
+        },
+    );
+    assert_eq!(*executed.lock().unwrap(), vec![0, 1, 2]);
+    let mut keys: Vec<String> = recorder.take().into_iter().map(|(k, _)| k).collect();
+    keys.sort();
+    assert_eq!(keys, vec!["serial/0:0", "serial/0:1", "serial/0:2"]);
+}
