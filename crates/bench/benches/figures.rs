@@ -6,40 +6,74 @@
 
 use bench::{print_experiment, sim_criterion};
 use criterion::{criterion_group, criterion_main, Criterion};
-use experiments::runner::PolicyKind;
+use experiments::runner::{Grid, PolicyKind};
 use experiments::{fig4, fig5, fig6, fig7, fig8, fig9};
 use workloads::Workload;
 
 fn bench_fig4(c: &mut Criterion) {
     let opts = print_experiment("fig4");
+    let grid = Grid::new(&opts, fig4::WARM);
     c.bench_function("fig4_gmake_one_core", |b| {
-        b.iter(|| std::hint::black_box(fig4::run_one(&opts, Workload::Gmake, PolicyKind::Fixed(1))))
+        b.iter(|| {
+            std::hint::black_box(fig4::run_one(
+                &opts,
+                &grid,
+                Workload::Gmake,
+                PolicyKind::Fixed(1),
+            ))
+        })
     });
     c.bench_function("fig4_dedup_three_cores", |b| {
-        b.iter(|| std::hint::black_box(fig4::run_one(&opts, Workload::Dedup, PolicyKind::Fixed(3))))
+        b.iter(|| {
+            std::hint::black_box(fig4::run_one(
+                &opts,
+                &grid,
+                Workload::Dedup,
+                PolicyKind::Fixed(3),
+            ))
+        })
     });
 }
 
 fn bench_fig5(c: &mut Criterion) {
     let opts = print_experiment("fig5");
+    let grid = Grid::new(&opts, fig5::WARM);
     c.bench_function("fig5_exim_one_core", |b| {
-        b.iter(|| std::hint::black_box(fig5::run_one(&opts, Workload::Exim, PolicyKind::Fixed(1))))
+        b.iter(|| {
+            std::hint::black_box(fig5::run_one(
+                &opts,
+                &grid,
+                Workload::Exim,
+                PolicyKind::Fixed(1),
+            ))
+        })
     });
 }
 
 fn bench_fig6(c: &mut Criterion) {
     let opts = print_experiment("fig6");
+    let (exec, tput) = fig6::grids(&opts);
     c.bench_function("fig6_gmake_dynamic", |b| {
-        b.iter(|| std::hint::black_box(fig6::run_one(&opts, Workload::Gmake, PolicyKind::Adaptive)))
+        b.iter(|| {
+            std::hint::black_box(fig6::run_one(
+                &opts,
+                &exec,
+                &tput,
+                Workload::Gmake,
+                PolicyKind::Adaptive,
+            ))
+        })
     });
 }
 
 fn bench_fig7(c: &mut Criterion) {
     let opts = print_experiment("fig7");
+    let grid = Grid::new(&opts, fig7::WARM);
     c.bench_function("fig7_dedup_breakdown", |b| {
         b.iter(|| {
             std::hint::black_box(fig7::measure_one(
                 &opts,
+                &grid,
                 Workload::Dedup,
                 PolicyKind::Fixed(3),
             ))
@@ -60,8 +94,9 @@ fn bench_fig8(c: &mut Criterion) {
 
 fn bench_fig9(c: &mut Criterion) {
     let opts = print_experiment("fig9");
+    let grid = Grid::new(&opts, fig9::WARM);
     c.bench_function("fig9_tcp_usliced", |b| {
-        b.iter(|| std::hint::black_box(fig9::measure_one(&opts, true, PolicyKind::Fixed(1))))
+        b.iter(|| std::hint::black_box(fig9::measure_one(&opts, &grid, true, PolicyKind::Fixed(1))))
     });
 }
 

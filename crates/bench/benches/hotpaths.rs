@@ -236,6 +236,29 @@ fn bench_sim_second(c: &mut Criterion) {
     let _ = MachineConfig::paper_testbed();
 }
 
+/// Checkpoint round trip of the shared-prefix grid: snapshot a warmed
+/// paper-testbed machine and fork a runnable copy — the per-cell price
+/// `--fork` pays instead of re-simulating the warm prefix. Two deep
+/// copies of the full machine state per iteration; the warm prefix it
+/// replaces costs `simulate_one_second_baseline`-scale time per 800 ms.
+fn bench_machine_snapshot(c: &mut Criterion) {
+    let (cfg, _) = scenarios::corun(Workload::Exim);
+    let n = cfg.num_pcpus;
+    let specs = vec![
+        scenarios::vm_with_iters(Workload::Exim, n, None),
+        scenarios::vm_with_iters(Workload::Swaptions, n, None),
+    ];
+    let mut warm = Machine::new(cfg, specs, Box::new(BaselinePolicy));
+    warm.run_until(SimTime::from_millis(800)).unwrap();
+    c.bench_function("machine_snapshot_restore", |b| {
+        b.iter(|| {
+            let snap = warm.snapshot();
+            let fork = snap.fork();
+            std::hint::black_box(fork.stats.counters.total())
+        })
+    });
+}
+
 /// Makespan of a fixed grid of sleep cells on 2 workers, FIFO admission
 /// vs a warm cost model's longest-estimated-first order. Cells sleep
 /// rather than compute, so the scheduling effect shows on any host core
@@ -277,6 +300,6 @@ fn bench_adaptive_admission(c: &mut Criterion) {
 criterion_group! {
     name = hotpaths;
     config = sim_criterion();
-    targets = bench_event_queue, bench_event_queue_cancel, bench_parallel_fanout, bench_runq_dispatch_scan, bench_segment_step, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second, bench_adaptive_admission
+    targets = bench_event_queue, bench_event_queue_cancel, bench_parallel_fanout, bench_runq_dispatch_scan, bench_segment_step, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second, bench_machine_snapshot, bench_adaptive_admission
 }
 criterion_main!(hotpaths);

@@ -14,11 +14,16 @@
 //! Run with `cargo bench --workspace`; each bench prints its regenerated
 //! rows once before Criterion starts timing.
 
-/// Standard Criterion tuning for whole-simulation benches: few samples
-//  and a bounded measurement window (each iteration simulates seconds).
+/// Standard Criterion tuning for whole-simulation benches: a bounded
+/// measurement window (each iteration simulates seconds) and enough
+/// samples for a stable min-of-N. Comparisons across runs should use
+/// `min_ns`, not `mean_ns`: scheduler preemption and frequency shifts
+/// only ever add time, so the mean drifts with host load (10–15%
+/// run-to-run on an otherwise unchanged build) while the minimum tracks
+/// the code.
 pub fn sim_criterion() -> criterion::Criterion {
     criterion::Criterion::default()
-        .sample_size(10)
+        .sample_size(30)
         .measurement_time(std::time::Duration::from_secs(10))
         .warm_up_time(std::time::Duration::from_secs(1))
 }

@@ -30,6 +30,7 @@ use simcore::time::SimDuration;
 use std::collections::HashMap;
 
 /// vTurbo: one statically dedicated short-slice core for I/O.
+#[derive(Clone)]
 pub struct VTurboPolicy {
     /// Number of dedicated turbo cores (vTurbo evaluated one).
     turbo_cores: usize,
@@ -95,6 +96,7 @@ impl Default for VtrsConfig {
 }
 
 /// vTRS: coarse-grained whole-vCPU classification into slice classes.
+#[derive(Clone)]
 pub struct VtrsPolicy {
     cfg: VtrsConfig,
     /// Per-vCPU urgent-event counts in the current period.

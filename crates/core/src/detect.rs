@@ -14,10 +14,8 @@
 use hypervisor::Machine;
 use ksym::whitelist::{CriticalClass, Whitelist};
 use simcore::ids::{VcpuId, VmId};
-use std::cell::RefCell;
-
 /// Per-vCPU `(last ip, class)` cache, indexed `[vm][vcpu]`.
-type ClassMemo = RefCell<Vec<Vec<Option<(u64, CriticalClass)>>>>;
+type ClassMemo = Vec<Vec<Option<(u64, CriticalClass)>>>;
 
 /// Classifies vCPU instruction pointers and finds acceleration targets.
 #[derive(Clone, Debug)]
@@ -49,7 +47,7 @@ impl DetectionEngine {
     pub fn with_whitelist(whitelist: Whitelist) -> Self {
         DetectionEngine {
             whitelist,
-            memo: RefCell::new(Vec::new()),
+            memo: Vec::new(),
         }
     }
 
@@ -62,9 +60,9 @@ impl DetectionEngine {
     /// throughout), which is how every caller uses it; reusing an engine
     /// across machines with *different* symbol tables requires a fresh
     /// engine per machine.
-    pub fn classify(&self, machine: &Machine, vcpu: VcpuId) -> CriticalClass {
+    pub fn classify(&mut self, machine: &Machine, vcpu: VcpuId) -> CriticalClass {
         let ip = machine.vcpu_ip(vcpu);
-        let mut memo = self.memo.borrow_mut();
+        let memo = &mut self.memo;
         let vm = vcpu.vm.0 as usize;
         if memo.len() <= vm {
             memo.resize_with(vm + 1, Vec::new);
@@ -100,11 +98,13 @@ impl DetectionEngine {
     /// Preempted siblings whose instruction pointer lies inside a
     /// whitelisted spinlock critical section — the suspected preempted
     /// lock holders of §4.2.
-    pub fn preempted_critical_siblings(&self, machine: &Machine, vm: VmId) -> Vec<VcpuId> {
+    pub fn preempted_critical_siblings(&mut self, machine: &Machine, vm: VmId) -> Vec<VcpuId> {
         machine
             .siblings(vm)
             .into_iter()
             .filter(|&v| machine.vcpu(v).is_preempted())
+            .collect::<Vec<_>>()
+            .into_iter()
             .filter(|&v| self.classify(machine, v) == CriticalClass::SpinlockCritical)
             .collect()
     }
@@ -172,7 +172,7 @@ mod tests {
     fn classify_reads_real_ips() {
         let mut m = contended_machine();
         m.run_until(SimTime::from_millis(200)).unwrap();
-        let engine = DetectionEngine::new();
+        let mut engine = DetectionEngine::new();
         // Some locker vCPU must classify as critical-section or spin-wait
         // at some observation point.
         let mut seen_any_kernel = false;
@@ -190,7 +190,7 @@ mod tests {
         // Preempted-holder windows are short (the load balancer rescues
         // UNDER vCPUs quickly), so sample densely.
         let mut m = contended_machine();
-        let engine = DetectionEngine::new();
+        let mut engine = DetectionEngine::new();
         let mut found = false;
         for step in 1..40_000u64 {
             m.run_until(SimTime::from_micros(step * 50)).unwrap();
@@ -205,14 +205,14 @@ mod tests {
     #[test]
     fn memoized_classification_matches_fresh_engine() {
         let mut m = contended_machine();
-        let warm = DetectionEngine::new();
+        let mut warm = DetectionEngine::new();
         // Observe at several points; the warm engine's memo must never
         // diverge from a throwaway engine classifying from scratch.
         for step in 1..=20u64 {
             m.run_until(SimTime::from_millis(step * 5)).unwrap();
             for vm in [VmId(0), VmId(1)] {
                 for v in m.siblings(vm) {
-                    let fresh = DetectionEngine::new();
+                    let mut fresh = DetectionEngine::new();
                     assert_eq!(warm.classify(&m, v), fresh.classify(&m, v));
                     // Second lookup hits the memo and must agree too.
                     assert_eq!(warm.classify(&m, v), fresh.classify(&m, v));
@@ -225,7 +225,7 @@ mod tests {
     fn empty_whitelist_detects_nothing() {
         let mut m = contended_machine();
         m.run_until(SimTime::from_millis(100)).unwrap();
-        let engine = DetectionEngine::with_whitelist(Whitelist::empty());
+        let mut engine = DetectionEngine::with_whitelist(Whitelist::empty());
         for v in m.siblings(VmId(0)) {
             assert_eq!(engine.classify(&m, v), CriticalClass::NotCritical);
         }

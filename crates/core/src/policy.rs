@@ -20,6 +20,7 @@ pub enum PolicyMode {
 }
 
 /// The flexible micro-sliced cores policy (§4, §5).
+#[derive(Clone)]
 pub struct MicroslicePolicy {
     mode: PolicyMode,
     detect: DetectionEngine,
@@ -66,7 +67,7 @@ impl MicroslicePolicy {
 
     /// Accelerates every preempted sibling of `vm` that owes a TLB
     /// acknowledgement (§4.2, first case). Returns how many migrated.
-    fn accelerate_ack_owers(&self, machine: &mut Machine, vm: VmId) -> usize {
+    fn accelerate_ack_owers(&mut self, machine: &mut Machine, vm: VmId) -> usize {
         let owers = self.detect.preempted_ack_owers(machine, vm);
         owers
             .into_iter()
@@ -76,7 +77,7 @@ impl MicroslicePolicy {
 
     /// Accelerates preempted siblings of `vm` caught inside critical
     /// sections (§4.2, second case — suspected preempted lock holders).
-    fn accelerate_lock_holders(&self, machine: &mut Machine, vm: VmId) -> usize {
+    fn accelerate_lock_holders(&mut self, machine: &mut Machine, vm: VmId) -> usize {
         let holders = self.detect.preempted_critical_siblings(machine, vm);
         holders
             .into_iter()
@@ -85,7 +86,7 @@ impl MicroslicePolicy {
     }
 
     /// Accelerates preempted siblings with undelivered relayed interrupts.
-    fn accelerate_ipi_recipients(&self, machine: &mut Machine, vm: VmId) -> usize {
+    fn accelerate_ipi_recipients(&mut self, machine: &mut Machine, vm: VmId) -> usize {
         let recipients = self.detect.preempted_ipi_recipients(machine, vm);
         recipients
             .into_iter()

@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run -p experiments --release --example calibrate [workload...]
 //! ```
-use experiments::runner::{PolicyKind, RunOptions};
+use experiments::runner::{Grid, PolicyKind, RunOptions};
 use experiments::{fig4, fig5};
 use workloads::Workload;
 
@@ -34,8 +34,9 @@ fn main() {
         print!("{:10}", w.name());
         let mut base = 1.0;
         let mut cobase = 1.0;
+        let grid = Grid::new(&opts, fig4::WARM);
         for p in configs {
-            let c = fig4::run_one(&opts, w, p).unwrap();
+            let c = fig4::run_one(&opts, &grid, w, p).unwrap();
             if p == PolicyKind::Baseline {
                 base = c.target_secs;
                 cobase = c.corunner_rate;
@@ -56,8 +57,9 @@ fn main() {
         print!("{:10}", w.name());
         let mut base = 1.0;
         let mut cobase = 1.0;
+        let grid = Grid::new(&opts, fig5::WARM);
         for p in configs {
-            let c = fig5::run_one(&opts, w, p).unwrap();
+            let c = fig5::run_one(&opts, &grid, w, p).unwrap();
             if p == PolicyKind::Baseline {
                 base = c.throughput;
                 cobase = c.corunner_rate;

@@ -12,8 +12,7 @@
 //!   criticizes for hurting cache-sensitive user work.
 
 use crate::runner::{
-    build, build_with, err_row, finish_time, run_cells, CellFailure, CellResult, PolicyKind,
-    RunOptions,
+    build, err_row, finish_time, run_cells, CellFailure, CellResult, Grid, PolicyKind, RunOptions,
 };
 use hypervisor::{MachineConfig, VmSpec};
 use metrics::render::Table;
@@ -22,6 +21,13 @@ use simcore::ids::VmId;
 use simcore::time::SimDuration;
 use simcore::time::SimTime;
 use workloads::{scenarios, Workload};
+
+/// Shared warm-up prefix (full budget) for the ablations whose cells
+/// share a machine config (detection on/off, fixed-µsliced). Both
+/// measure post-warm work deltas, so the prefix shifts no rate. The
+/// slice and run-queue sweeps mutate the config per cell, so they keep
+/// their from-scratch runs.
+pub const WARM: SimDuration = SimDuration::from_secs(4);
 
 /// Throughput of the exim pair over a window under a custom config.
 fn exim_rate(
@@ -122,8 +128,10 @@ pub fn run_detection_off(opts: &RunOptions) -> Vec<Table> {
     let mut t = Table::new(vec!["config", "exim units/s"])
         .with_title("Ablation: detection (whitelist) on/off, 1 reserved micro core");
     let window = opts.window(SimDuration::from_secs(3));
+    let plan = Grid::new(opts, WARM);
     // Policies are constructed inside the worker (dispatched by index) so
-    // no trait object needs to cross threads.
+    // no trait object needs to cross threads. All three cells share one
+    // config, so they fork a single warm snapshot (group 0).
     let rates = run_cells(
         opts,
         3,
@@ -142,16 +150,20 @@ pub fn run_detection_off(opts: &RunOptions) -> Vec<Table> {
                         .with_detection(DetectionEngine::with_whitelist(ksym::Whitelist::empty())),
                 ),
             };
-            let cfg = MachineConfig::paper_testbed();
-            let n = cfg.num_pcpus;
-            let specs = vec![
-                scenarios::vm_with_iters(Workload::Exim, n, None),
-                scenarios::vm_with_iters(Workload::Swaptions, n, None),
-            ];
-            let mut m = build_with(opts, (cfg, specs), policy);
-            m.run_until(SimTime::ZERO + window)
+            let scenario = || {
+                let cfg = MachineConfig::paper_testbed();
+                let n = cfg.num_pcpus;
+                let specs = vec![
+                    scenarios::vm_with_iters(Workload::Exim, n, None),
+                    scenarios::vm_with_iters(Workload::Swaptions, n, None),
+                ];
+                (cfg, specs)
+            };
+            let mut m = plan.cell(opts, 0, scenario, policy)?;
+            let warm_work = m.vm_work_done(VmId(0));
+            m.run_until(plan.warm_until() + window)
                 .map_err(CellFailure::Sim)?;
-            Ok(m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64())
+            Ok((m.vm_work_done(VmId(0)) - warm_work) as f64 / window.as_secs_f64())
         },
     );
     for (label, rate) in DETECTION_LABELS.iter().zip(&rates) {
@@ -175,6 +187,10 @@ pub fn run_fixed_usliced(opts: &RunOptions) -> Vec<Table> {
     let mut t = Table::new(vec!["scheme", "exim units/s", "swaptions units/s"])
         .with_title("Ablation: precise selection vs micro-slicing every core");
     let window = opts.window(SimDuration::from_secs(3));
+    let plan = Grid::new(opts, WARM);
+    // The baseline and flexible cells share the stock config (group 0);
+    // the fixed-µsliced cell rewrites `normal_slice`, so its warm prefix
+    // differs and it forks its own snapshot (group 1).
     let cells = run_cells(
         opts,
         3,
@@ -185,27 +201,31 @@ pub fn run_fixed_usliced(opts: &RunOptions) -> Vec<Table> {
             )
         },
         |i| {
-            let mut cfg = MachineConfig::paper_testbed();
-            let policy = match i {
-                0 => PolicyKind::Baseline,
-                1 => PolicyKind::Fixed(1),
-                _ => {
+            let scenario = || {
+                let mut cfg = MachineConfig::paper_testbed();
+                if i == 2 {
                     cfg.normal_slice = SimDuration::from_micros(100);
-                    PolicyKind::Baseline
                 }
+                let n = cfg.num_pcpus;
+                let specs = vec![
+                    scenarios::vm_with_iters(Workload::Exim, n, None),
+                    scenarios::vm_with_iters(Workload::Swaptions, n, None),
+                ];
+                (cfg, specs)
             };
-            let n = cfg.num_pcpus;
-            let specs = vec![
-                scenarios::vm_with_iters(Workload::Exim, n, None),
-                scenarios::vm_with_iters(Workload::Swaptions, n, None),
-            ];
-            let mut m = build(opts, (cfg, specs), policy);
-            m.run_until(SimTime::ZERO + window)
+            let policy = if i == 1 {
+                PolicyKind::Fixed(1)
+            } else {
+                PolicyKind::Baseline
+            };
+            let mut m = plan.cell(opts, u64::from(i == 2), scenario, policy.build())?;
+            let warm = (m.vm_work_done(VmId(0)), m.vm_work_done(VmId(1)));
+            m.run_until(plan.warm_until() + window)
                 .map_err(CellFailure::Sim)?;
             let secs = window.as_secs_f64();
             Ok((
-                m.vm_work_done(VmId(0)) as f64 / secs,
-                m.vm_work_done(VmId(1)) as f64 / secs,
+                (m.vm_work_done(VmId(0)) - warm.0) as f64 / secs,
+                (m.vm_work_done(VmId(1)) - warm.1) as f64 / secs,
             ))
         },
     );

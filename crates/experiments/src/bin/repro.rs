@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [--csv] [--seed N] [--jobs N] [--faults SPEC]
 //!       [--keep-going] [--paranoid] [--costs PATH|off] [--record-costs]
-//!       <experiment>...
+//!       [--fork|--no-fork] <experiment>...
 //! repro all
 //! repro list
 //! ```
@@ -28,6 +28,14 @@
 //! Estimates steer only admission order, never results: stdout is
 //! byte-identical whichever model — warm, cold, or off — drives the run.
 //!
+//! `--fork` (the default) enables shared-prefix execution: grid cells
+//! that share a scenario fork a once-simulated warm snapshot instead of
+//! each re-simulating the warm-up. `--no-fork` re-simulates every cell
+//! from scratch. Like the cost model, forking steers only how results
+//! are computed, never what they are: stdout is byte-identical either
+//! way (the warm prefix runs under the baseline policy in both modes and
+//! policies diverge only after the snapshot point).
+//!
 //! `--faults SPEC` injects a deterministic fault plan into every run
 //! (SPEC like `seed=7,count=40` — see `hypervisor::FaultSpec`).
 //! `--keep-going` renders failed grid cells as `ERR` instead of aborting;
@@ -48,7 +56,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--csv] [--seed N] [--jobs N] [--faults SPEC] \
          [--keep-going] [--paranoid] [--costs PATH|off] [--record-costs] \
-         <experiment>... | all | list"
+         [--fork|--no-fork] <experiment>... | all | list"
     );
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
@@ -97,6 +105,8 @@ fn main() {
             "--record-costs" => record_costs = true,
             "--keep-going" => opts.keep_going = true,
             "--paranoid" => opts.paranoid = true,
+            "--fork" => opts.fork = true,
+            "--no-fork" => opts.fork = false,
             "list" => {
                 for id in ALL_EXPERIMENTS {
                     println!("{id}");
@@ -132,12 +142,19 @@ fn main() {
             Arc::new(CostRecorder::default()),
         )
     });
+    // Cost-model keys carry the budget knobs that change cell wall-clock
+    // by integer factors: quick cells cost ~4x less, forked cells skip
+    // the warm prefix. Keys only steer admission order, so the suffixes
+    // never reach stdout.
     let experiment_label = |id: &str| {
+        let mut label = id.to_string();
         if opts.quick {
-            format!("{id}@quick")
-        } else {
-            id.to_string()
+            label.push_str("@quick");
         }
+        if opts.fork {
+            label.push_str("@fork");
+        }
+        label
     };
     // Every experiment run goes through this wrapper so cost-ordered
     // admission and recording apply uniformly to the streamed fan-out

@@ -5,7 +5,7 @@
 //! against embedded reference values from the paper's tables and figures.
 //! The output is the machine-checked core of `EXPERIMENTS.md`.
 
-use crate::runner::{PolicyKind, RunOptions};
+use crate::runner::{Grid, PolicyKind, RunOptions};
 use crate::{fig4, fig5, fig6, fig8, fig9, table2, table4};
 use metrics::render::Table;
 use workloads::Workload;
@@ -127,8 +127,9 @@ pub fn measure(opts: &RunOptions) -> Vec<ShapeResult> {
     // Figure 4: memclone wins big with one core.
     const F4M_PAPER: &str = "norm. time ~0.52 at 1 core";
     const F4M_DESC: &str = "memclone: one micro core shortens execution substantially";
-    let mem_base = fig4::run_one(opts, Workload::Memclone, PolicyKind::Baseline);
-    let mem_one = fig4::run_one(opts, Workload::Memclone, PolicyKind::Fixed(1));
+    let f4_grid = Grid::new(opts, fig4::WARM);
+    let mem_base = fig4::run_one(opts, &f4_grid, Workload::Memclone, PolicyKind::Baseline);
+    let mem_one = fig4::run_one(opts, &f4_grid, Workload::Memclone, PolicyKind::Fixed(1));
     out.push(match (&mem_base, &mem_one) {
         (Ok(base), Ok(one)) => {
             let mem_norm = one.target_secs / base.target_secs;
@@ -236,8 +237,9 @@ pub fn measure(opts: &RunOptions) -> Vec<ShapeResult> {
     // Figure 9: micro-slicing restores the mixed vCPU's I/O.
     const F9_PAPER: &str = "~420 -> ~690 Mbps; >8ms -> ~0ms";
     const F9_DESC: &str = "mixed-vCPU TCP: bandwidth restored, jitter collapsed";
-    let f9b = fig9::measure_one(opts, true, PolicyKind::Baseline);
-    let f9u = fig9::measure_one(opts, true, PolicyKind::Fixed(1));
+    let f9_grid = Grid::new(opts, fig9::WARM);
+    let f9b = fig9::measure_one(opts, &f9_grid, true, PolicyKind::Baseline);
+    let f9u = fig9::measure_one(opts, &f9_grid, true, PolicyKind::Fixed(1));
     out.push(match (&f9b, &f9u) {
         (Ok(b), Ok(u)) => ShapeResult {
             artifact: "Figure 9",

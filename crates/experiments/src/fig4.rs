@@ -7,11 +7,18 @@
 //! (dedup, vips) *lose* with one core and win with 2–3; beyond that the
 //! shrinking normal pool erodes the gains.
 
-use crate::runner::{err_row, finish_time, run_cells, CellResult, PolicyKind, RunOptions};
+use crate::runner::{err_row, finish_time, run_cells, CellResult, Grid, PolicyKind, RunOptions};
 use hypervisor::{Machine, MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
+use simcore::time::SimDuration;
 use workloads::{scenarios, Workload};
+
+/// Shared warm-up prefix (full budget): every cell of one workload's
+/// sweep simulates `[0, WARM)` under the baseline policy and diverges at
+/// the warm point (see [`Grid`]). Short relative to even the fastest
+/// cell's completion, so every configuration gets its full effect window.
+pub const WARM: SimDuration = SimDuration::from_millis(1500);
 
 /// The Figure 4 target workloads.
 pub const WORKLOADS: [Workload; 4] = [
@@ -57,9 +64,15 @@ pub fn scenario(opts: &RunOptions, w: Workload) -> (MachineConfig, Vec<VmSpec>) 
     )
 }
 
-/// Runs one configuration of one workload.
-pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> CellResult<Cell> {
-    let mut m: Machine = crate::runner::build(opts, scenario(opts, w), policy);
+/// Runs one configuration of one workload, forking the workload's warm
+/// snapshot from `grid` (grouped by workload).
+pub fn run_one(
+    opts: &RunOptions,
+    grid: &Grid,
+    w: Workload,
+    policy: PolicyKind,
+) -> CellResult<Cell> {
+    let mut m: Machine = grid.cell(opts, w as u64, || scenario(opts, w), policy.build())?;
     let end = finish_time(m.run_until_vm_finished(VmId(0), opts.horizon()))?;
     Ok(Cell {
         policy,
@@ -82,11 +95,12 @@ fn label(opts: &RunOptions, w: Workload, policy: PolicyKind) -> String {
 /// `opts.jobs` workers (results stay in configuration order).
 pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<CellResult<Cell>> {
     let configs = configs();
+    let grid = Grid::new(opts, WARM);
     run_cells(
         opts,
         configs.len(),
         |i| label(opts, w, configs[i]),
-        |i| run_one(opts, w, configs[i]),
+        |i| run_one(opts, &grid, w, configs[i]),
     )
     .into_iter()
     .map(|r| r.map_err(|e| e.failure))
@@ -100,6 +114,7 @@ pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<CellResult<Cell>> {
 /// columns degrade to `ERR` if the baseline itself failed).
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let configs = configs();
+    let plan = Grid::new(opts, WARM);
     let grid = run_cells(
         opts,
         WORKLOADS.len() * configs.len(),
@@ -113,6 +128,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
         |i| {
             run_one(
                 opts,
+                &plan,
                 WORKLOADS[i / configs.len()],
                 configs[i % configs.len()],
             )
@@ -175,8 +191,9 @@ mod tests {
     )]
     fn memclone_wins_with_one_micro_core() {
         let opts = RunOptions::quick();
-        let base = run_one(&opts, Workload::Memclone, PolicyKind::Baseline).unwrap();
-        let one = run_one(&opts, Workload::Memclone, PolicyKind::Fixed(1)).unwrap();
+        let grid = Grid::new(&opts, WARM);
+        let base = run_one(&opts, &grid, Workload::Memclone, PolicyKind::Baseline).unwrap();
+        let one = run_one(&opts, &grid, Workload::Memclone, PolicyKind::Fixed(1)).unwrap();
         assert!(
             one.target_secs < base.target_secs * 0.7,
             "memclone: 1 core {}s vs baseline {}s",

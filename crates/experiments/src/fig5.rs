@@ -2,12 +2,18 @@
 //! exim and psearchy (throughput benchmarks), with the swaptions
 //! co-runner's execution time on the second axis.
 
-use crate::runner::{err_row, run_cells, CellResult, PolicyKind, RunOptions};
+use crate::runner::{err_row, run_cells, CellFailure, CellResult, Grid, PolicyKind, RunOptions};
 use hypervisor::{Machine, MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
 use simcore::time::SimDuration;
 use workloads::{scenarios, Workload};
+
+/// Shared warm-up prefix (full budget) before the measurement window.
+/// Rates are measured over the post-warm window only, so the warm length
+/// shifts no ratio — it just gets simulated once per sweep instead of
+/// once per cell (see [`Grid`]).
+pub const WARM: SimDuration = SimDuration::from_secs(8);
 
 /// The Figure 5 workloads.
 pub const WORKLOADS: [Workload; 2] = [Workload::Exim, Workload::Psearchy];
@@ -38,15 +44,27 @@ pub fn scenario(_opts: &RunOptions, w: Workload) -> (MachineConfig, Vec<VmSpec>)
     )
 }
 
-/// Runs one configuration over the measurement window.
-pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> CellResult<Cell> {
+/// Runs one configuration over the measurement window, forking the
+/// workload's warm snapshot from `grid`. Rates count only work done
+/// inside the post-warm window: the shared prefix runs under the baseline
+/// policy and is excluded from every cell's measurement alike.
+pub fn run_one(
+    opts: &RunOptions,
+    grid: &Grid,
+    w: Workload,
+    policy: PolicyKind,
+) -> CellResult<Cell> {
     let window = opts.window(SimDuration::from_secs(4));
-    let m: Machine = crate::runner::run_window(opts, scenario(opts, w), policy, window)?;
+    let mut m: Machine = grid.cell(opts, w as u64, || scenario(opts, w), policy.build())?;
+    let warm_target = m.vm_work_done(VmId(0));
+    let warm_corun = m.vm_work_done(VmId(1));
+    m.run_until(grid.warm_until() + window)
+        .map_err(CellFailure::Sim)?;
     let secs = window.as_secs_f64();
     Ok(Cell {
         policy,
-        throughput: m.vm_work_done(VmId(0)) as f64 / secs,
-        corunner_rate: m.vm_work_done(VmId(1)) as f64 / secs,
+        throughput: (m.vm_work_done(VmId(0)) - warm_target) as f64 / secs,
+        corunner_rate: (m.vm_work_done(VmId(1)) - warm_corun) as f64 / secs,
     })
 }
 
@@ -63,11 +81,12 @@ fn label(opts: &RunOptions, w: Workload, policy: PolicyKind) -> String {
 /// workers in configuration order.
 pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<CellResult<Cell>> {
     let configs = crate::fig4::configs();
+    let grid = Grid::new(opts, WARM);
     run_cells(
         opts,
         configs.len(),
         |i| label(opts, w, configs[i]),
-        |i| run_one(opts, w, configs[i]),
+        |i| run_one(opts, &grid, w, configs[i]),
     )
     .into_iter()
     .map(|r| r.map_err(|e| e.failure))
@@ -78,6 +97,7 @@ pub fn sweep(opts: &RunOptions, w: Workload) -> Vec<CellResult<Cell>> {
 /// one fan-out index space. Failed cells render as `ERR` rows.
 pub fn run(opts: &RunOptions) -> Vec<Table> {
     let configs = crate::fig4::configs();
+    let plan = Grid::new(opts, WARM);
     let grid = run_cells(
         opts,
         WORKLOADS.len() * configs.len(),
@@ -91,6 +111,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
         |i| {
             run_one(
                 opts,
+                &plan,
                 WORKLOADS[i / configs.len()],
                 configs[i % configs.len()],
             )
@@ -143,8 +164,9 @@ mod tests {
     #[test]
     fn exim_throughput_multiplies_with_one_core() {
         let opts = RunOptions::quick();
-        let base = run_one(&opts, Workload::Exim, PolicyKind::Baseline).unwrap();
-        let one = run_one(&opts, Workload::Exim, PolicyKind::Fixed(1)).unwrap();
+        let grid = Grid::new(&opts, WARM);
+        let base = run_one(&opts, &grid, Workload::Exim, PolicyKind::Baseline).unwrap();
+        let one = run_one(&opts, &grid, Workload::Exim, PolicyKind::Fixed(1)).unwrap();
         let improvement = one.throughput / base.throughput;
         assert!(
             improvement > 1.12,

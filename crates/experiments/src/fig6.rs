@@ -4,7 +4,7 @@
 //! best static core count, and Algorithm 1. The reproduction target:
 //! dynamic tracks static-best closely and both beat the baseline.
 
-use crate::runner::{err_row, run_cells, CellError, CellResult, PolicyKind, RunOptions};
+use crate::runner::{err_row, run_cells, CellError, CellResult, Grid, PolicyKind, RunOptions};
 use metrics::render::Table;
 use workloads::Workload;
 
@@ -41,23 +41,40 @@ pub struct Cell {
     pub corunner_rate: f64,
 }
 
-/// Runs one pair under one policy.
-pub fn run_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> CellResult<Cell> {
+/// Runs one pair under one policy. `exec` and `tput` are the shared-
+/// prefix plans for the execution-time (Figure 4 style) and throughput
+/// (Figure 5 style) halves — built with [`crate::fig4::WARM`] and
+/// [`crate::fig5::WARM`] respectively (see [`grids`]).
+pub fn run_one(
+    opts: &RunOptions,
+    exec: &Grid,
+    tput: &Grid,
+    w: Workload,
+    policy: PolicyKind,
+) -> CellResult<Cell> {
     if w.is_throughput() {
-        let c = crate::fig5::run_one(opts, w, policy)?;
+        let c = crate::fig5::run_one(opts, tput, w, policy)?;
         Ok(Cell {
             policy,
             metric: c.throughput,
             corunner_rate: c.corunner_rate,
         })
     } else {
-        let c = crate::fig4::run_one(opts, w, policy)?;
+        let c = crate::fig4::run_one(opts, exec, w, policy)?;
         Ok(Cell {
             policy,
             metric: c.target_secs,
             corunner_rate: c.corunner_rate,
         })
     }
+}
+
+/// The pair of shared-prefix plans Figure 6 cells fork from.
+pub fn grids(opts: &RunOptions) -> (Grid, Grid) {
+    (
+        Grid::new(opts, crate::fig4::WARM),
+        Grid::new(opts, crate::fig5::WARM),
+    )
 }
 
 fn grid_policy(w: Workload, slot: usize) -> PolicyKind {
@@ -72,6 +89,7 @@ fn grid_policy(w: Workload, slot: usize) -> PolicyKind {
 /// 6 × 3 grid across `opts.jobs` workers. Failed cells come back as
 /// labelled errors.
 pub fn measure(opts: &RunOptions) -> Vec<(Workload, [Result<Cell, CellError>; 3])> {
+    let (exec, tput) = grids(opts);
     let mut grid = run_cells(
         opts,
         WORKLOADS.len() * 3,
@@ -86,7 +104,7 @@ pub fn measure(opts: &RunOptions) -> Vec<(Workload, [Result<Cell, CellError>; 3]
         },
         |i| {
             let w = WORKLOADS[i / 3];
-            run_one(opts, w, grid_policy(w, i % 3))
+            run_one(opts, &exec, &tput, w, grid_policy(w, i % 3))
         },
     )
     .into_iter();
@@ -156,9 +174,10 @@ mod tests {
     )]
     fn dynamic_tracks_static_best_for_dedup() {
         let opts = RunOptions::quick();
-        let base = run_one(&opts, Workload::Dedup, PolicyKind::Baseline).unwrap();
-        let stat = run_one(&opts, Workload::Dedup, PolicyKind::Fixed(3)).unwrap();
-        let dynm = run_one(&opts, Workload::Dedup, PolicyKind::Adaptive).unwrap();
+        let (exec, tput) = grids(&opts);
+        let base = run_one(&opts, &exec, &tput, Workload::Dedup, PolicyKind::Baseline).unwrap();
+        let stat = run_one(&opts, &exec, &tput, Workload::Dedup, PolicyKind::Fixed(3)).unwrap();
+        let dynm = run_one(&opts, &exec, &tput, Workload::Dedup, PolicyKind::Adaptive).unwrap();
         assert!(stat.metric < base.metric * 0.7, "static must beat baseline");
         assert!(
             dynm.metric < base.metric * 0.8,

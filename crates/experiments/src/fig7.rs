@@ -6,7 +6,9 @@
 //! the TLB-bound ones), and the halt share shrinks as the VMs regain
 //! utilization.
 
-use crate::runner::{err_row, run_cells, CellError, CellResult, PolicyKind, RunOptions};
+use crate::runner::{
+    err_row, run_cells, CellError, CellFailure, CellResult, Grid, PolicyKind, RunOptions,
+};
 use hypervisor::stats::YieldBreakdown;
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -16,22 +18,45 @@ use workloads::{scenarios, Workload};
 /// The Figure 7 pairs (same as Figure 6).
 pub const WORKLOADS: [Workload; 6] = crate::fig6::WORKLOADS;
 
+/// Shared warm-up prefix (full budget). Yield counts are deltas over the
+/// post-warm window, so the prefix shifts no breakdown.
+pub const WARM: SimDuration = SimDuration::from_secs(4);
+
+/// Per-class difference of two cumulative breakdowns (`end - start`).
+fn delta(end: YieldBreakdown, start: YieldBreakdown) -> YieldBreakdown {
+    YieldBreakdown {
+        ipi: end.ipi - start.ipi,
+        spinlock: end.spinlock - start.spinlock,
+        halt: end.halt - start.halt,
+        other: end.other - start.other,
+    }
+}
+
 /// Measures the target VM's yield breakdown under one policy, over a
-/// fixed window (endless workload variants, so B/S/D windows align).
+/// fixed post-warm window (endless workload variants, so B/S/D windows
+/// align). The cell forks `grid`'s warm snapshot (grouped by workload)
+/// and counts only yields after the divergence point.
 pub fn measure_one(
     opts: &RunOptions,
+    grid: &Grid,
     w: Workload,
     policy: PolicyKind,
 ) -> CellResult<YieldBreakdown> {
     let window = opts.window(SimDuration::from_secs(3));
-    let (cfg, _) = scenarios::corun(w);
-    let n = cfg.num_pcpus;
-    let specs = vec![
-        scenarios::vm_with_iters(w, n, None),
-        scenarios::vm_with_iters(Workload::Swaptions, n, None),
-    ];
-    let m = crate::runner::run_window(opts, (cfg, specs), policy, window)?;
-    Ok(m.stats.vm(VmId(0)).yields)
+    let scenario = || {
+        let (cfg, _) = scenarios::corun(w);
+        let n = cfg.num_pcpus;
+        let specs = vec![
+            scenarios::vm_with_iters(w, n, None),
+            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+        ];
+        (cfg, specs)
+    };
+    let mut m = grid.cell(opts, w as u64, scenario, policy.build())?;
+    let warm = m.stats.vm(VmId(0)).yields;
+    m.run_until(grid.warm_until() + window)
+        .map_err(CellFailure::Sim)?;
+    Ok(delta(m.stats.vm(VmId(0)).yields, warm))
 }
 
 fn grid_policy(w: Workload, slot: usize) -> PolicyKind {
@@ -45,6 +70,7 @@ fn grid_policy(w: Workload, slot: usize) -> PolicyKind {
 /// Runs B/S/D for every pair, fanning the 6 × 3 grid across
 /// `opts.jobs` workers.
 pub fn measure(opts: &RunOptions) -> Vec<(Workload, [Result<YieldBreakdown, CellError>; 3])> {
+    let plan = Grid::new(opts, WARM);
     let mut grid = run_cells(
         opts,
         WORKLOADS.len() * 3,
@@ -59,7 +85,7 @@ pub fn measure(opts: &RunOptions) -> Vec<(Workload, [Result<YieldBreakdown, Cell
         },
         |i| {
             let w = WORKLOADS[i / 3];
-            measure_one(opts, w, grid_policy(w, i % 3))
+            measure_one(opts, &plan, w, grid_policy(w, i % 3))
         },
     )
     .into_iter();
@@ -115,10 +141,11 @@ mod tests {
     #[test]
     fn microslicing_collapses_dominant_yield_class() {
         let opts = RunOptions::quick();
+        let grid = Grid::new(&opts, WARM);
         // Lock-bound pair: PLE yields dominate the baseline and shrink
         // under the static configuration.
-        let base = measure_one(&opts, Workload::Gmake, PolicyKind::Baseline).unwrap();
-        let stat = measure_one(&opts, Workload::Gmake, PolicyKind::Fixed(1)).unwrap();
+        let base = measure_one(&opts, &grid, Workload::Gmake, PolicyKind::Baseline).unwrap();
+        let stat = measure_one(&opts, &grid, Workload::Gmake, PolicyKind::Fixed(1)).unwrap();
         assert!(
             base.spinlock > base.ipi,
             "gmake baseline should be PLE-dominated: {base:?}"
@@ -130,12 +157,12 @@ mod tests {
             base.spinlock
         );
         // TLB-bound pair: IPI yields dominate the baseline.
-        let dbase = measure_one(&opts, Workload::Dedup, PolicyKind::Baseline).unwrap();
+        let dbase = measure_one(&opts, &grid, Workload::Dedup, PolicyKind::Baseline).unwrap();
         assert!(
             dbase.ipi > dbase.spinlock,
             "dedup baseline should be IPI-dominated: {dbase:?}"
         );
-        let dstat = measure_one(&opts, Workload::Dedup, PolicyKind::Fixed(3)).unwrap();
+        let dstat = measure_one(&opts, &grid, Workload::Dedup, PolicyKind::Fixed(3)).unwrap();
         assert!(
             dstat.ipi < dbase.ipi,
             "static should reduce IPI yields: {} vs {}",

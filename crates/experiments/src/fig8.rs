@@ -5,12 +5,19 @@
 //! scheme's profiling changes their execution time by only a few percent.
 
 use crate::runner::{
-    err_row, finish_time, run_cells, CellError, CellResult, PolicyKind, RunOptions,
+    err_row, finish_time, run_cells, CellError, CellResult, Grid, PolicyKind, RunOptions,
 };
 use hypervisor::{MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
+use simcore::time::SimDuration;
 use workloads::{scenarios, Workload};
+
+/// Shared warm-up prefix (full budget) per pair; both cells of a pair
+/// fork the same snapshot. Kept below the fastest completion at the
+/// quick budget (bzip2, ~2.0 s simulated) so every cell still finishes
+/// after the divergence point.
+pub const WARM: SimDuration = SimDuration::from_secs(6);
 
 /// One measured pair.
 #[derive(Clone, Copy, Debug)]
@@ -36,8 +43,8 @@ fn scenario(opts: &RunOptions, w: Workload) -> (MachineConfig, Vec<VmSpec>) {
     )
 }
 
-fn exec_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> CellResult<f64> {
-    let mut m = crate::runner::build(opts, scenario(opts, w), policy);
+fn exec_one(opts: &RunOptions, grid: &Grid, w: Workload, policy: PolicyKind) -> CellResult<f64> {
+    let mut m = grid.cell(opts, w as u64, || scenario(opts, w), policy.build())?;
     let end = finish_time(m.run_until_vm_finished(VmId(0), opts.horizon()))?;
     Ok(end.as_secs_f64())
 }
@@ -47,6 +54,7 @@ fn exec_one(opts: &RunOptions, w: Workload, policy: PolicyKind) -> CellResult<f6
 /// back as that cell's error.
 pub fn measure(opts: &RunOptions) -> Vec<Result<Row, CellError>> {
     let set = Workload::figure8_set();
+    let plan = Grid::new(opts, WARM);
     let grid = run_cells(
         opts,
         set.len() * 2,
@@ -65,7 +73,7 @@ pub fn measure(opts: &RunOptions) -> Vec<Result<Row, CellError>> {
             } else {
                 PolicyKind::Adaptive
             };
-            exec_one(opts, w, policy)
+            exec_one(opts, &plan, w, policy)
         },
     );
     set.iter()
@@ -118,11 +126,12 @@ mod tests {
     #[test]
     fn overhead_on_compute_workloads_is_small() {
         let opts = RunOptions::quick();
+        let grid = Grid::new(&opts, WARM);
         // One representative from PARSEC and one from SPEC keeps the test
         // fast; the full set runs in the bench harness.
         for w in [Workload::Blackscholes, Workload::Sjeng] {
-            let b = exec_one(&opts, w, PolicyKind::Baseline).unwrap();
-            let d = exec_one(&opts, w, PolicyKind::Adaptive).unwrap();
+            let b = exec_one(&opts, &grid, w, PolicyKind::Baseline).unwrap();
+            let d = exec_one(&opts, &grid, w, PolicyKind::Adaptive).unwrap();
             let overhead = (d / b - 1.0) * 100.0;
             assert!(
                 overhead.abs() < 8.0,

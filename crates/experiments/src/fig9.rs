@@ -7,12 +7,19 @@
 //! bandwidth and drives jitter toward zero.
 
 use crate::runner::{
-    err_row, run_cells, run_window, CellError, CellResult, PolicyKind, RunOptions,
+    err_row, run_cells, CellError, CellFailure, CellResult, Grid, PolicyKind, RunOptions,
 };
 use metrics::render::{fmt_f64, Table};
 use simcore::ids::VmId;
 use simcore::time::SimDuration;
 use workloads::scenarios;
+
+/// Shared warm-up prefix (full budget). Flow statistics are
+/// delta-measured over the post-warm window (the warm share of the
+/// packet counters and latency summary is subtracted out), so the
+/// prefix length never dilutes the contrast between cells; 800 ms is
+/// enough to reach the steady queue depths the paper measures.
+pub const WARM: SimDuration = SimDuration::from_millis(800);
 
 /// One measured configuration.
 #[derive(Clone, Copy, Debug)]
@@ -29,17 +36,31 @@ pub struct Row {
     pub dropped: u64,
 }
 
-/// Runs one transport × policy cell.
-pub fn measure_one(opts: &RunOptions, tcp: bool, policy: PolicyKind) -> CellResult<Row> {
+/// Runs one transport × policy cell, forking the transport's warm
+/// snapshot from `grid`.
+pub fn measure_one(
+    opts: &RunOptions,
+    grid: &Grid,
+    tcp: bool,
+    policy: PolicyKind,
+) -> CellResult<Row> {
     let window = opts.window(SimDuration::from_secs(4));
-    let m = run_window(opts, scenarios::fig9_mixed_pinned(tcp), policy, window)?;
+    let mut m = grid.cell(
+        opts,
+        u64::from(tcp),
+        || scenarios::fig9_mixed_pinned(tcp),
+        policy.build(),
+    )?;
+    let warm_flow = m.vm(VmId(0)).kernel.flows[0].clone();
+    m.run_until(grid.warm_until() + window)
+        .map_err(CellFailure::Sim)?;
     let flow = &m.vm(VmId(0)).kernel.flows[0];
     Ok(Row {
         transport: if tcp { "TCP" } else { "UDP" },
         policy,
-        bandwidth_mbps: flow.throughput_mbps(m.now()),
-        jitter_ms: flow.jitter_ms(),
-        dropped: flow.dropped,
+        bandwidth_mbps: flow.throughput_mbps_since(&warm_flow, window),
+        jitter_ms: flow.jitter_ms_since(&warm_flow),
+        dropped: flow.dropped - warm_flow.dropped,
     })
 }
 
@@ -57,6 +78,7 @@ fn grid_transport(i: usize) -> &'static str {
 /// across `opts.jobs` workers in grid order. Failed cells come back as
 /// labelled errors.
 pub fn measure(opts: &RunOptions) -> Vec<Result<Row, CellError>> {
+    let plan = Grid::new(opts, WARM);
     run_cells(
         opts,
         4,
@@ -68,7 +90,7 @@ pub fn measure(opts: &RunOptions) -> Vec<Result<Row, CellError>> {
                 opts.seed
             )
         },
-        |i| measure_one(opts, i / 2 == 0, POLICIES[i % 2]),
+        |i| measure_one(opts, &plan, i / 2 == 0, POLICIES[i % 2]),
     )
 }
 
@@ -112,8 +134,9 @@ mod tests {
     #[test]
     fn microslicing_restores_tcp_bandwidth_and_jitter() {
         let opts = RunOptions::quick();
-        let base = measure_one(&opts, true, PolicyKind::Baseline).unwrap();
-        let fast = measure_one(&opts, true, PolicyKind::Fixed(1)).unwrap();
+        let grid = Grid::new(&opts, WARM);
+        let base = measure_one(&opts, &grid, true, PolicyKind::Baseline).unwrap();
+        let fast = measure_one(&opts, &grid, true, PolicyKind::Fixed(1)).unwrap();
         assert!(
             fast.bandwidth_mbps > base.bandwidth_mbps * 1.2,
             "bandwidth: {} vs {}",

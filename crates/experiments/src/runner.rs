@@ -1,8 +1,11 @@
 //! Shared experiment machinery: policies, run options, and drivers.
 
 pub mod cost;
+pub mod grid;
 pub mod parallel;
 pub mod pool;
+
+pub use grid::Grid;
 
 use hypervisor::policy::SchedPolicy;
 use hypervisor::{BaselinePolicy, FaultSpec, Machine, MachineConfig, SimError, VmSpec};
@@ -66,6 +69,12 @@ pub struct RunOptions {
     /// Fault plan installed into every machine the runner builds. `None`
     /// (the default) injects nothing and leaves output byte-identical.
     pub faults: Option<FaultSpec>,
+    /// Shared-prefix execution: grid cells fork a once-warmed snapshot
+    /// instead of re-simulating the warm-up (`repro --no-fork` disables
+    /// it). Both settings produce byte-identical output — see
+    /// [`grid::Grid`]; this flag only chooses between forking the warm
+    /// state and recomputing it.
+    pub fork: bool,
 }
 
 impl Default for RunOptions {
@@ -77,6 +86,7 @@ impl Default for RunOptions {
             paranoid: false,
             keep_going: false,
             faults: None,
+            fork: true,
         }
     }
 }
@@ -124,6 +134,17 @@ impl RunOptions {
     pub fn window(&self, full: SimDuration) -> SimDuration {
         if self.quick {
             (full / 4).max(SimDuration::from_millis(800))
+        } else {
+            full
+        }
+    }
+
+    /// Scales a shared warm-up prefix down in quick mode. Unlike
+    /// [`window`](Self::window) there is no generous floor — a warm
+    /// prefix must stay well below the measurement span it precedes.
+    pub fn warm(&self, full: SimDuration) -> SimDuration {
+        if self.quick {
+            full / 4
         } else {
             full
         }

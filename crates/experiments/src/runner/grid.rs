@@ -1,0 +1,246 @@
+//! Shared-prefix grid execution: warm once per group, fork per cell.
+//!
+//! Every cell of an experiment grid simulates the same scenario and
+//! diverges only in its policy (or another post-warmup parameter). The
+//! prefix before the divergence point is therefore identical work,
+//! re-simulated once per cell. A [`Grid`] shares it: the first cell of a
+//! group to execute builds the machine, runs it to [`Grid::warm_until`]
+//! under the *base* policy ([`BaselinePolicy`]), and snapshots it
+//! ([`hypervisor::Snapshot`] — a deep `Clone` over the machine's
+//! SoA/arena state). Every cell, including that first one, then forks the
+//! snapshot in O(state) and installs its own policy via
+//! [`Machine::set_policy`] at the divergence point.
+//!
+//! With forking disabled (`repro --no-fork`) each cell builds and warms
+//! from scratch — but still warms under the base policy and diverges at
+//! the same point, so the two modes are **byte-identical by
+//! construction**: a fork continues bit-identically to the machine it was
+//! taken from, and both modes execute the same warm-then-diverge
+//! schedule. `tests/determinism.rs` diffs the full suite both ways.
+//!
+//! Concurrency: groups are keyed by a caller-chosen `u64`; each group's
+//! snapshot lives in a `OnceLock`, so under the global `--jobs` budget
+//! the first cell to be admitted performs the warmup while its siblings
+//! (if already admitted) block on the lock. Blocked siblings hold their
+//! permits — wasteful for at most one warmup duration per group, and
+//! deadlock-free because the initializing cell always holds its own
+//! permit and runs to completion.
+//!
+//! Failure replay: a warmup that dies with a [`SimError`] is cached as
+//! the failed [`CellResult`] and replayed to every cell of the group —
+//! exactly the cells that would fail identically from scratch (the warm
+//! prefix is deterministic). A *panicking* warmup propagates out of the
+//! `OnceLock` initializer leaving it empty, so each sibling retries the
+//! warmup and panics the same way: again the from-scratch behaviour.
+//!
+//! [`SimError`]: hypervisor::SimError
+
+use super::{build_with, CellFailure, CellResult, RunOptions};
+use hypervisor::policy::SchedPolicy;
+use hypervisor::{BaselinePolicy, Machine, MachineConfig, Snapshot, VmSpec};
+use simcore::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+type SnapshotSlot = Arc<OnceLock<CellResult<Arc<Snapshot>>>>;
+
+/// A grid execution plan: the shared warm-up horizon plus the per-group
+/// snapshot cache cells fork from.
+///
+/// One `Grid` serves one experiment invocation; cells that share a
+/// `(scenario, seed)` prefix pass the same group key and everything
+/// before [`Grid::warm_until`] is simulated once. Cells whose scenarios
+/// differ (other workload, other machine config) must use distinct keys —
+/// the group's machine is built by whichever cell runs first, so sharing
+/// a key across different scenarios would hand the wrong machine to the
+/// later cells.
+#[derive(Debug)]
+pub struct Grid {
+    warm_until: SimTime,
+    fork: bool,
+    snapshots: Mutex<HashMap<u64, SnapshotSlot>>,
+}
+
+impl Grid {
+    /// A grid whose cells share the first `warm` of simulated time.
+    /// `warm` is the full-budget duration; quick mode scales it down via
+    /// [`RunOptions::warm`]. Forking is controlled by [`RunOptions::fork`]
+    /// (`repro --fork`/`--no-fork`).
+    pub fn new(opts: &RunOptions, warm: SimDuration) -> Self {
+        Grid {
+            warm_until: SimTime::ZERO + opts.warm(warm),
+            fork: opts.fork,
+            snapshots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The simulated time at which cells diverge from the shared prefix.
+    pub fn warm_until(&self) -> SimTime {
+        self.warm_until
+    }
+
+    fn slot(&self, group: u64) -> SnapshotSlot {
+        self.snapshots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .entry(group)
+            .or_default()
+            .clone()
+    }
+
+    /// Builds and warms a machine from scratch — the `--no-fork` path and
+    /// the per-group initializer of the forked path.
+    fn warm_machine(
+        &self,
+        opts: &RunOptions,
+        scenario: (MachineConfig, Vec<VmSpec>),
+    ) -> CellResult<Machine> {
+        let mut m = build_with(opts, scenario, Box::new(BaselinePolicy));
+        m.run_until(self.warm_until).map_err(CellFailure::Sim)?;
+        Ok(m)
+    }
+
+    /// Produces the runnable machine for one cell: warmed to
+    /// [`Grid::warm_until`] under the base policy, with `policy` installed
+    /// at the divergence point (its `on_init` has run). The caller drives
+    /// it to the cell's own measurement horizon.
+    ///
+    /// `scenario` is only invoked when a machine is actually built — with
+    /// forking on, once per group.
+    pub fn cell(
+        &self,
+        opts: &RunOptions,
+        group: u64,
+        scenario: impl FnOnce() -> (MachineConfig, Vec<VmSpec>),
+        policy: Box<dyn SchedPolicy>,
+    ) -> CellResult<Machine> {
+        let mut m = if self.fork {
+            let slot = self.slot(group);
+            let warmed = slot.get_or_init(|| {
+                self.warm_machine(opts, scenario())
+                    .map(|m| Arc::new(m.snapshot()))
+            });
+            warmed.as_ref().map_err(Clone::clone)?.fork()
+        } else {
+            self.warm_machine(opts, scenario())?
+        };
+        m.set_policy(policy);
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PolicyKind;
+    use simcore::ids::VmId;
+    use workloads::{scenarios, Workload};
+
+    fn scenario() -> (MachineConfig, Vec<VmSpec>) {
+        let cfg = MachineConfig::small(4);
+        let n = cfg.num_pcpus;
+        (
+            cfg,
+            vec![
+                scenarios::vm_with_iters(Workload::Exim, n, None),
+                scenarios::vm_with_iters(Workload::Swaptions, n, None),
+            ],
+        )
+    }
+
+    fn fingerprint(m: &mut Machine) -> (u64, u64, u64) {
+        (
+            m.vm_work_done(VmId(0)),
+            m.vm_work_done(VmId(1)),
+            m.stats.counters.total(),
+        )
+    }
+
+    /// The determinism contract the `--fork`/`--no-fork` diff rests on:
+    /// identical machines whichever path produced them.
+    #[test]
+    fn forked_and_scratch_cells_are_identical() {
+        let horizon = SimTime::from_millis(300);
+        let run = |fork: bool, policy: PolicyKind| {
+            let opts = RunOptions {
+                fork,
+                ..RunOptions::quick()
+            };
+            let grid = Grid::new(&opts, SimDuration::from_millis(400));
+            let mut m = grid.cell(&opts, 0, scenario, policy.build()).unwrap();
+            m.run_until(horizon).unwrap();
+            fingerprint(&mut m)
+        };
+        for policy in [
+            PolicyKind::Baseline,
+            PolicyKind::Fixed(1),
+            PolicyKind::Adaptive,
+        ] {
+            assert_eq!(
+                run(true, policy),
+                run(false, policy),
+                "fork and scratch diverged under {policy:?}"
+            );
+        }
+    }
+
+    /// Cells of one group share the warm prefix but diverge by policy;
+    /// cells of different groups never see each other's machines.
+    #[test]
+    fn groups_isolate_and_policies_diverge() {
+        let opts = RunOptions {
+            fork: true,
+            ..RunOptions::quick()
+        };
+        let grid = Grid::new(&opts, SimDuration::from_millis(400));
+        let horizon = SimTime::from_millis(400);
+
+        let mut base = grid
+            .cell(&opts, 0, scenario, PolicyKind::Baseline.build())
+            .unwrap();
+        let mut fast = grid
+            .cell(&opts, 0, scenario, PolicyKind::Fixed(1).build())
+            .unwrap();
+        assert_eq!(base.now(), grid.warm_until());
+        assert_eq!(fast.now(), grid.warm_until());
+        base.run_until(horizon).unwrap();
+        fast.run_until(horizon).unwrap();
+        assert_ne!(
+            fingerprint(&mut base),
+            fingerprint(&mut fast),
+            "policies must diverge after the warm point"
+        );
+
+        // A second group warms independently and reproduces the first
+        // group's baseline exactly (same scenario, same seed).
+        let mut twin = grid
+            .cell(&opts, 1, scenario, PolicyKind::Baseline.build())
+            .unwrap();
+        twin.run_until(horizon).unwrap();
+        assert_eq!(fingerprint(&mut base), fingerprint(&mut twin));
+    }
+
+    /// With forking on, the scenario is built once per group.
+    #[test]
+    fn fork_builds_the_scenario_once_per_group() {
+        let opts = RunOptions {
+            fork: true,
+            ..RunOptions::quick()
+        };
+        let grid = Grid::new(&opts, SimDuration::from_millis(100));
+        let mut builds = 0usize;
+        for _ in 0..3 {
+            let m = grid.cell(
+                &opts,
+                7,
+                || {
+                    builds += 1;
+                    scenario()
+                },
+                PolicyKind::Baseline.build(),
+            );
+            assert!(m.is_ok());
+        }
+        assert_eq!(builds, 1, "one warmup per group");
+    }
+}

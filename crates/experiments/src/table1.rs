@@ -11,7 +11,7 @@
 //! and the paper's flexible micro-sliced cores (static best + dynamic).
 
 use crate::runner::{
-    build_with, err_row, finish_time, run_cells, CellError, CellFailure, CellResult, PolicyKind,
+    err_row, finish_time, run_cells, CellError, CellFailure, CellResult, Grid, PolicyKind,
     RunOptions,
 };
 use hypervisor::policy::SchedPolicy;
@@ -19,7 +19,7 @@ use hypervisor::MachineConfig;
 use metrics::render::{fmt_f64, Table};
 use microslice::{AdaptiveConfig, MicroslicePolicy, VTurboPolicy, VtrsPolicy};
 use simcore::ids::VmId;
-use simcore::time::{SimDuration, SimTime};
+use simcore::time::SimDuration;
 use workloads::{scenarios, Workload};
 
 /// The compared schemes, in Table 1 column order (where implemented).
@@ -79,7 +79,27 @@ impl Scheme {
             cfg.normal_slice = SimDuration::from_micros(100);
         }
     }
+
+    /// Snapshot-group offset: the fixed-µsliced scheme mutates the
+    /// machine config, so its warm prefix differs from every other
+    /// scheme's and it must not share their snapshots (see [`Grid`]).
+    fn group(self, symptom: u64) -> u64 {
+        symptom + if self == Scheme::FixedUsliced { 8 } else { 0 }
+    }
 }
+
+/// Shared warm-up prefix (full budget) for the dedup and iperf symptom
+/// cells: dedup measures completion time, so the prefix must stay well
+/// below the fastest scheme's finish; iperf (delta-measured jitter)
+/// shares the same plan and inherits the cap.
+pub const WARM: SimDuration = SimDuration::from_millis(800);
+
+/// Warm prefix for the exim throughput cells — the same exim+swaptions
+/// scenario Figure 5 warms, and delta-measured the same way (work done
+/// after the warm point over the window), so the prefix length never
+/// compresses the measured rates and the five snapshot-sharing schemes
+/// can amortize a long one.
+pub const EXIM_WARM: SimDuration = SimDuration::from_secs(4);
 
 /// One scheme's results across the three symptom classes.
 #[derive(Clone, Copy, Debug)]
@@ -94,43 +114,54 @@ pub struct Row {
     pub iperf_jitter_ms: f64,
 }
 
-fn exim_run(opts: &RunOptions, scheme: Scheme) -> CellResult<f64> {
+fn exim_run(opts: &RunOptions, grid: &Grid, scheme: Scheme) -> CellResult<f64> {
     let window = opts.window(SimDuration::from_secs(3));
-    let (mut cfg, _) = scenarios::corun(Workload::Exim);
-    scheme.mutate_config(&mut cfg);
-    let n = cfg.num_pcpus;
-    let specs = vec![
-        scenarios::vm_with_iters(Workload::Exim, n, None),
-        scenarios::vm_with_iters(Workload::Swaptions, n, None),
-    ];
-    let mut m = build_with(opts, (cfg, specs), scheme.policy(1));
-    m.run_until(SimTime::ZERO + window)
+    let scenario = || {
+        let (mut cfg, _) = scenarios::corun(Workload::Exim);
+        scheme.mutate_config(&mut cfg);
+        let n = cfg.num_pcpus;
+        let specs = vec![
+            scenarios::vm_with_iters(Workload::Exim, n, None),
+            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+        ];
+        (cfg, specs)
+    };
+    let mut m = grid.cell(opts, scheme.group(0), scenario, scheme.policy(1))?;
+    let warm_work = m.vm_work_done(VmId(0));
+    m.run_until(grid.warm_until() + window)
         .map_err(CellFailure::Sim)?;
-    Ok(m.vm_work_done(VmId(0)) as f64 / window.as_secs_f64())
+    Ok((m.vm_work_done(VmId(0)) - warm_work) as f64 / window.as_secs_f64())
 }
 
-fn dedup_run(opts: &RunOptions, scheme: Scheme) -> CellResult<f64> {
-    let (mut cfg, _) = scenarios::corun(Workload::Dedup);
-    scheme.mutate_config(&mut cfg);
-    let n = cfg.num_pcpus;
-    let iters = opts.iters(Workload::Dedup.default_iters().expect("finite"));
-    let specs = vec![
-        scenarios::vm_with_iters(Workload::Dedup, n, Some(iters)),
-        scenarios::vm_with_iters(Workload::Swaptions, n, None),
-    ];
-    let mut m = build_with(opts, (cfg, specs), scheme.policy(3));
+fn dedup_run(opts: &RunOptions, grid: &Grid, scheme: Scheme) -> CellResult<f64> {
+    let scenario = || {
+        let (mut cfg, _) = scenarios::corun(Workload::Dedup);
+        scheme.mutate_config(&mut cfg);
+        let n = cfg.num_pcpus;
+        let iters = opts.iters(Workload::Dedup.default_iters().expect("finite"));
+        let specs = vec![
+            scenarios::vm_with_iters(Workload::Dedup, n, Some(iters)),
+            scenarios::vm_with_iters(Workload::Swaptions, n, None),
+        ];
+        (cfg, specs)
+    };
+    let mut m = grid.cell(opts, scheme.group(1), scenario, scheme.policy(3))?;
     let end = finish_time(m.run_until_vm_finished(VmId(0), opts.horizon()))?;
     Ok(end.as_secs_f64())
 }
 
-fn iperf_run(opts: &RunOptions, scheme: Scheme) -> CellResult<f64> {
+fn iperf_run(opts: &RunOptions, grid: &Grid, scheme: Scheme) -> CellResult<f64> {
     let window = opts.window(SimDuration::from_secs(3));
-    let (mut cfg, specs) = scenarios::fig9_mixed_pinned(true);
-    scheme.mutate_config(&mut cfg);
-    let mut m = build_with(opts, (cfg, specs), scheme.policy(1));
-    m.run_until(SimTime::ZERO + window)
+    let scenario = || {
+        let (mut cfg, specs) = scenarios::fig9_mixed_pinned(true);
+        scheme.mutate_config(&mut cfg);
+        (cfg, specs)
+    };
+    let mut m = grid.cell(opts, scheme.group(2), scenario, scheme.policy(1))?;
+    let warm_flow = m.vm(VmId(0)).kernel.flows[0].clone();
+    m.run_until(grid.warm_until() + window)
         .map_err(CellFailure::Sim)?;
-    Ok(m.vm(VmId(0)).kernel.flows[0].jitter_ms())
+    Ok(m.vm(VmId(0)).kernel.flows[0].jitter_ms_since(&warm_flow))
 }
 
 const SYMPTOMS: [&str; 3] = ["exim", "dedup", "iperf"];
@@ -139,6 +170,8 @@ const SYMPTOMS: [&str; 3] = ["exim", "dedup", "iperf"];
 /// symptom grid fanned across `opts.jobs` workers. A scheme row with any
 /// failed symptom cell comes back as that cell's error.
 pub fn measure(opts: &RunOptions) -> Vec<Result<Row, CellError>> {
+    let plan = Grid::new(opts, WARM);
+    let exim_plan = Grid::new(opts, EXIM_WARM);
     let grid = run_cells(
         opts,
         Scheme::ALL.len() * 3,
@@ -153,9 +186,9 @@ pub fn measure(opts: &RunOptions) -> Vec<Result<Row, CellError>> {
         |i| {
             let scheme = Scheme::ALL[i / 3];
             match i % 3 {
-                0 => exim_run(opts, scheme),
-                1 => dedup_run(opts, scheme),
-                _ => iperf_run(opts, scheme),
+                0 => exim_run(opts, &exim_plan, scheme),
+                1 => dedup_run(opts, &plan, scheme),
+                _ => iperf_run(opts, &plan, scheme),
             }
         },
     );
@@ -218,22 +251,23 @@ mod tests {
     )]
     fn comparators_cover_their_claimed_symptoms_only() {
         let opts = RunOptions::quick();
+        let grid = Grid::new(&opts, WARM);
         // vTurbo fixes I/O but not TLB.
-        let base_jitter = iperf_run(&opts, Scheme::Baseline).unwrap();
-        let vturbo_jitter = iperf_run(&opts, Scheme::VTurbo).unwrap();
+        let base_jitter = iperf_run(&opts, &grid, Scheme::Baseline).unwrap();
+        let vturbo_jitter = iperf_run(&opts, &grid, Scheme::VTurbo).unwrap();
         assert!(
             vturbo_jitter < base_jitter * 0.5,
             "vTurbo should fix mixed I/O: {vturbo_jitter} vs {base_jitter}"
         );
-        let base_dedup = dedup_run(&opts, Scheme::Baseline).unwrap();
-        let vturbo_dedup = dedup_run(&opts, Scheme::VTurbo).unwrap();
+        let base_dedup = dedup_run(&opts, &grid, Scheme::Baseline).unwrap();
+        let vturbo_dedup = dedup_run(&opts, &grid, Scheme::VTurbo).unwrap();
         assert!(
             vturbo_dedup > base_dedup * 0.9,
             "vTurbo must not fix the TLB symptom: {vturbo_dedup} vs {base_dedup}"
         );
         // Ours fixes both.
-        let ours_jitter = iperf_run(&opts, Scheme::MicrosliceStatic).unwrap();
-        let ours_dedup = dedup_run(&opts, Scheme::MicrosliceStatic).unwrap();
+        let ours_jitter = iperf_run(&opts, &grid, Scheme::MicrosliceStatic).unwrap();
+        let ours_dedup = dedup_run(&opts, &grid, Scheme::MicrosliceStatic).unwrap();
         assert!(ours_jitter < base_jitter * 0.5);
         assert!(ours_dedup < base_dedup * 0.6);
     }

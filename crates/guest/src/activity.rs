@@ -239,7 +239,7 @@ impl Activity {
 }
 
 /// The guest-side context of one vCPU.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct VcpuCtx {
     /// This vCPU's index within its VM.
     pub idx: u16,

@@ -126,7 +126,7 @@ impl LockLayout {
 }
 
 /// The modeled kernel state of one VM.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct VmKernel {
     /// Lock layout for this VM.
     pub layout: LockLayout,

@@ -268,6 +268,27 @@ impl FlowState {
         }
         (self.delivered as f64 * self.cfg.bytes_per_pkt as f64 * 8.0) / secs / 1e6
     }
+
+    /// Goodput in Mbit/s over a measurement window of length `window`,
+    /// given `earlier` — a clone of this flow taken at the window start.
+    /// Delta-measurement for warm-forked experiment cells: the warm-up
+    /// share of the counters is subtracted out.
+    pub fn throughput_mbps_since(&self, earlier: &FlowState, window: SimDuration) -> f64 {
+        let secs = window.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        ((self.delivered - earlier.delivered) as f64 * self.cfg.bytes_per_pkt as f64 * 8.0)
+            / secs
+            / 1e6
+    }
+
+    /// Jitter in milliseconds (latency standard deviation, see
+    /// [`FlowState::jitter_ms`]) over only the packets consumed since
+    /// `earlier` — a clone of this flow taken at the window start.
+    pub fn jitter_ms_since(&self, earlier: &FlowState) -> f64 {
+        self.latency_us.since(&earlier.latency_us).std_dev() / 1_000.0
+    }
 }
 
 #[cfg(test)]

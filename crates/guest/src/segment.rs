@@ -103,8 +103,33 @@ impl Segment {
     }
 }
 
+/// Clone support for boxed [`Program`]s, blanket-implemented for every
+/// `Clone` program so `Box<dyn Program>` (and with it whole machines) can
+/// be snapshotted. Implementors never write this by hand — deriving
+/// `Clone` on the program type is enough.
+pub trait ProgramClone {
+    /// Clones `self` into a fresh box.
+    fn clone_box(&self) -> Box<dyn Program>;
+}
+
+impl<P: Program + Clone + 'static> ProgramClone for P {
+    fn clone_box(&self) -> Box<dyn Program> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Program> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// A guest workload: a deterministic (given the RNG) stream of segments.
-pub trait Program {
+///
+/// `Send + Sync` (programs are plain data driven by the machine's RNG)
+/// plus [`ProgramClone`] let a machine holding boxed programs be
+/// snapshotted and the snapshot forked from worker threads.
+pub trait Program: ProgramClone + Send + Sync {
     /// Produces the next segment to execute.
     fn next_segment(&mut self, rng: &mut SimRng) -> Segment;
 
@@ -133,6 +158,10 @@ pub trait Program {
 /// source to [`Program::fill`] a dense `Vec<Segment>` and then serves
 /// `Copy` reads off a cursor until the arena runs dry. The observable
 /// segment/RNG stream is bit-identical to driving the source directly.
+///
+/// Cloning copies the arena and cursor verbatim (plus the source via
+/// [`ProgramClone`]), so a clone resumes the exact segment stream.
+#[derive(Clone)]
 pub struct FlatProgram {
     source: Box<dyn Program>,
     arena: Vec<Segment>,

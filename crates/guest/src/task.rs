@@ -20,6 +20,11 @@ pub enum TaskState {
 }
 
 /// A guest thread or process.
+///
+/// Cloning snapshots the task mid-flight: program arena and cursor, RNG
+/// stream position, saved mid-segment activity, and injected burst all
+/// copy verbatim, so a clone resumes exactly where the original was.
+#[derive(Clone)]
 pub struct Task {
     /// Identity within the simulation.
     pub id: TaskId,

@@ -37,7 +37,7 @@ pub mod vm;
 pub use config::MachineConfig;
 pub use error::SimError;
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
-pub use machine::{Machine, TraceEvent};
+pub use machine::{Machine, Snapshot, TraceEvent};
 pub use policy::{BaselinePolicy, SchedPolicy, YieldCause};
 pub use pool::PoolId;
 pub use stats::MachineStats;

@@ -11,7 +11,10 @@ mod api;
 mod handlers;
 mod invariants;
 mod sched;
+mod snapshot;
 mod step;
+
+pub use snapshot::Snapshot;
 
 use crate::config::MachineConfig;
 use crate::error::SimError;
@@ -141,6 +144,13 @@ const MICRO_SHARD: usize = 2;
 const NUM_SHARDS: usize = 3;
 
 /// The simulated host.
+///
+/// `Clone` is a deep checkpoint: every run queue, event-queue slab,
+/// guest program arena, RNG stream, histogram, and the fault-plan cursor
+/// copy verbatim, so a clone replays bit-identically to the original.
+/// See [`Machine::snapshot`] / [`Snapshot`] for the checkpoint/fork API
+/// built on top of it.
+#[derive(Clone)]
 pub struct Machine {
     /// Configuration (read-only after construction).
     pub cfg: MachineConfig,

@@ -13,6 +13,51 @@ use crate::vcpu::Prio;
 use simcore::ids::{PcpuId, VcpuId, VmId};
 use simcore::time::SimTime;
 
+/// First index in `keys` whose value is strictly greater than `rank`, or
+/// `keys.len()` if none — the insert-position scan of every enqueue.
+///
+/// Queues at 2:1 overcommit hold a handful of entries, and there the
+/// early-exit byte scan is unbeatable — a word trick's setup costs more
+/// than the whole scan. Past one word (consolidated guests, the
+/// run-queue-cap ablation at 16) the scan goes SWAR: eight key bytes per
+/// step compared against a broadcast of `rank + 1` with the "is any byte
+/// ≥ n" trick — biasing each byte's high bit and subtracting leaves the
+/// high bit set exactly in the bytes that did not borrow, i.e. the bytes
+/// ≥ `rank + 1`; the first such byte (little-endian, so
+/// `trailing_zeros`) is the answer. The trick needs every operand byte
+/// below `0x80`: [`Prio::rank`] produces only 0–2, and degenerate ranks
+/// ≥ `0x7f` (impossible for [`Prio`]) take the scalar path outright.
+#[inline]
+pub fn first_rank_above(keys: &[u8], rank: u8) -> usize {
+    if keys.len() <= 8 || rank >= 0x7f {
+        return keys.iter().position(|&k| k > rank).unwrap_or(keys.len());
+    }
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let threshold = u64::from(rank + 1) * 0x0101_0101_0101_0101;
+    let mut chunks = keys.chunks_exact(8);
+    let mut base = 0;
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+        let ge = (word | HI).wrapping_sub(threshold) & HI;
+        if ge != 0 {
+            let pos = base + (ge.trailing_zeros() / 8) as usize;
+            debug_assert_eq!(
+                pos,
+                keys.iter()
+                    .position(|&k| k > rank)
+                    .expect("hit implies a match"),
+            );
+            return pos;
+        }
+        base += 8;
+    }
+    base + chunks
+        .remainder()
+        .iter()
+        .position(|&k| k > rank)
+        .unwrap_or(chunks.remainder().len())
+}
+
 /// One entry on a run queue: the vCPU and the priority it was enqueued at.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunqEntry {
@@ -61,10 +106,7 @@ impl Pcpu {
     /// priority ≥ its own (priority order, FIFO within a class).
     #[inline]
     fn insert_pos(&self, rank: u8) -> usize {
-        self.prio_keys
-            .iter()
-            .position(|&k| k > rank)
-            .unwrap_or(self.prio_keys.len())
+        first_rank_above(&self.prio_keys, rank)
     }
 
     #[inline]

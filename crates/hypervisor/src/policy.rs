@@ -11,13 +11,38 @@ use crate::machine::Machine;
 pub use crate::stats::YieldCause;
 use simcore::ids::{VcpuId, VmId};
 
+/// Clone support for boxed [`SchedPolicy`]s, blanket-implemented for
+/// every `Clone` policy so `Box<dyn SchedPolicy>` — and with it whole
+/// machines — can be snapshotted. Implementors never write this by hand;
+/// deriving `Clone` on the policy type is enough.
+pub trait PolicyClone {
+    /// Clones `self` into a fresh box.
+    fn clone_box(&self) -> Box<dyn SchedPolicy>;
+}
+
+impl<P: SchedPolicy + Clone + 'static> PolicyClone for P {
+    fn clone_box(&self) -> Box<dyn SchedPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn SchedPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// Scheduling policy hooks, called by the machine at Xen's
 /// instrumentation points.
 ///
 /// All hooks default to no-ops, so a policy overrides only what it needs.
 /// Hooks receive `&mut Machine` and may use the machine's policy-facing
 /// API (migration, pool resizing, timers, statistics).
-pub trait SchedPolicy {
+///
+/// `Send + Sync` (policies are plain state machines mutated only through
+/// `&mut self` hooks) plus [`PolicyClone`] let machines be snapshotted
+/// and forked from worker threads.
+pub trait SchedPolicy: PolicyClone + Send + Sync {
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
 

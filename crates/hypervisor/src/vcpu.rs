@@ -58,7 +58,7 @@ impl Prio {
 }
 
 /// A virtual CPU as the hypervisor sees it.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Vcpu {
     /// Identity.
     pub id: VcpuId,

@@ -10,6 +10,7 @@ use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 
 /// A stochastic program whose behaviour mix is driven by three weights.
+#[derive(Clone)]
 struct FuzzProgram {
     kernel_weight: f64,
     lock_weight: f64,
@@ -50,6 +51,18 @@ impl Program for FuzzProgram {
     fn name(&self) -> &'static str {
         "fuzz"
     }
+}
+
+/// A byte-level fingerprint of a machine's observable state, for the
+/// fork-isolation property below.
+fn fingerprint(m: &Machine) -> (u64, u64, SimDuration, SimDuration, String) {
+    (
+        m.vm_work_done(VmId(0)),
+        m.vm_work_done(VmId(1)),
+        m.stats.vm(VmId(0)).cpu_time,
+        m.stats.vm(VmId(1)).cpu_time,
+        m.stats.counters.to_string(),
+    )
 }
 
 proptest! {
@@ -116,5 +129,63 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Fork isolation, the property the shared-prefix grid leans on:
+    /// running a fork all the way to the horizon leaves the original
+    /// machine byte-identical to a twin that was never forked, and the
+    /// fork itself continues exactly as the twin does.
+    #[test]
+    fn forking_never_perturbs_the_original(
+        seed in any::<u64>(),
+        num_pcpus in 1u16..6,
+        vcpus_a in 1u16..6,
+        vcpus_b in 1u16..6,
+        kernel_weight in 0.0f64..0.5,
+        lock_weight in 0.0f64..0.5,
+        micro in 0usize..3,
+        fork_at_ms in 20u64..150,
+    ) {
+        let build = || {
+            let mk = |n: u16| -> VmSpec {
+                VmSpec::new("fuzz", n).task_per_vcpu(move |_| {
+                    Box::new(FuzzProgram {
+                        kernel_weight,
+                        lock_weight,
+                        tlb_weight: 0.1,
+                        num_vcpus: n,
+                    })
+                })
+            };
+            let cfg = MachineConfig::small(num_pcpus).with_seed(seed);
+            let policy: Box<dyn hypervisor::SchedPolicy> = if micro == 0 {
+                Box::new(BaselinePolicy)
+            } else {
+                Box::new(microslice::MicroslicePolicy::fixed(micro))
+            };
+            Machine::new(cfg, vec![mk(vcpus_a), mk(vcpus_b)], policy)
+        };
+        let fork_at = SimTime::ZERO + SimDuration::from_millis(fork_at_ms);
+        let horizon = SimTime::ZERO + SimDuration::from_millis(250);
+
+        let mut original = build();
+        original.run_until(fork_at).unwrap();
+        let mut fork = original.fork();
+        fork.run_until(horizon).unwrap();
+        original.run_until(horizon).unwrap();
+
+        let mut twin = build();
+        twin.run_until(horizon).unwrap();
+
+        prop_assert_eq!(
+            fingerprint(&original),
+            fingerprint(&twin),
+            "running a fork perturbed the original machine"
+        );
+        prop_assert_eq!(
+            fingerprint(&fork),
+            fingerprint(&twin),
+            "the fork diverged from an unforked twin"
+        );
     }
 }

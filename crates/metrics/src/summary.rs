@@ -103,6 +103,42 @@ impl Summary {
         }
     }
 
+    /// The summary of only the samples added after `earlier` — the
+    /// inverse of [`Summary::merge`], for delta-measuring a window out
+    /// of a cumulative summary (`earlier` must be a clone of this
+    /// summary's own past state).
+    ///
+    /// Count, sum, mean, and variance are exact for the window (Chan's
+    /// parallel-variance identity run backwards). `min`/`max` cannot be
+    /// un-merged, so the result keeps the cumulative extrema — they can
+    /// only over-report the window's range.
+    pub fn since(&self, earlier: &Summary) -> Summary {
+        debug_assert!(earlier.count <= self.count, "`earlier` is not a prefix");
+        let count = self.count - earlier.count;
+        if count == 0 {
+            return Summary::new();
+        }
+        if earlier.count == 0 {
+            return self.clone();
+        }
+        let n1 = earlier.count as f64;
+        let n2 = count as f64;
+        let n = self.count as f64;
+        let mean = (n * self.mean - n1 * earlier.mean) / n2;
+        let delta = mean - earlier.mean;
+        // Floating-point cancellation can push a near-zero window
+        // variance slightly negative; clamp rather than NaN in sqrt.
+        let m2 = (self.m2 - earlier.m2 - delta * delta * n1 * n2 / n).max(0.0);
+        Summary {
+            count,
+            mean,
+            m2,
+            min: self.min,
+            max: self.max,
+            sum: self.sum - earlier.sum,
+        }
+    }
+
     /// Merges another summary into this one.
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
@@ -138,6 +174,40 @@ mod tests {
         assert_eq!(s.min(), 0.0);
         assert_eq!(s.max(), 0.0);
         assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn since_recovers_window_statistics() {
+        // Prefix samples, then a checkpoint, then window samples: the
+        // windowed summary must match one built from the window alone.
+        let mut s = Summary::new();
+        for x in [3.0, 7.0, 11.0, 2.0] {
+            s.add(x);
+        }
+        let checkpoint = s.clone();
+        let window_samples = [100.0, 104.0, 96.0, 108.0, 92.0];
+        let mut reference = Summary::new();
+        for x in window_samples {
+            s.add(x);
+            reference.add(x);
+        }
+        let window = s.since(&checkpoint);
+        assert_eq!(window.count(), reference.count());
+        assert!((window.mean() - reference.mean()).abs() < 1e-9);
+        assert!((window.sum() - reference.sum()).abs() < 1e-9);
+        assert!((window.std_dev() - reference.std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_edge_cases() {
+        let mut s = Summary::new();
+        s.add(5.0);
+        // Nothing added since the checkpoint: empty window.
+        assert_eq!(s.since(&s.clone()).count(), 0);
+        // Empty checkpoint: the window is the whole summary.
+        let whole = s.since(&Summary::new());
+        assert_eq!(whole.count(), 1);
+        assert_eq!(whole.mean(), 5.0);
     }
 
     #[test]

@@ -65,6 +65,7 @@ impl HeapEntry {
 /// heap entry is still in flight) or the slot is free. The firing time is
 /// mirrored here (not only in the heap entry) so non-mutating iteration
 /// never has to disambiguate stale heap entries from recycled slots.
+#[derive(Clone)]
 struct Slot<E> {
     gen: u32,
     at: SimTime,
@@ -87,6 +88,11 @@ struct Slot<E> {
 /// assert_eq!(q.pop(), Some((SimTime::from_micros(10), 'b')));
 /// assert!(q.is_empty());
 /// ```
+/// Cloning snapshots the queue verbatim — heap layout, slab generations,
+/// free list, and sequence counter — so a clone pops, cancels, and
+/// recycles slots exactly like the original, and outstanding
+/// [`EventKey`]s remain valid against the clone.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     heap: Vec<HeapEntry>,
     slots: Vec<Slot<E>>,
@@ -365,6 +371,12 @@ impl ShardKey {
 /// assert_eq!(q.pop(), Some((SimTime::from_micros(10), 'a')));
 /// assert!(q.is_empty());
 /// ```
+///
+/// Cloning preserves every shard's slab and the global sequence counter,
+/// so a clone's pop order (and any outstanding [`ShardKey`]s) match the
+/// original exactly — the property the machine snapshot/fork path relies
+/// on.
+#[derive(Clone)]
 pub struct ShardedEventQueue<E> {
     /// Payloads wrapped with their global push sequence; the wrapper is
     /// what lets the merge front reconstruct the single-queue total order.
@@ -819,6 +831,77 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             prop_assert_eq!(a, b);
+        }
+
+        /// A clone taken mid-stream behaves byte-identically to the
+        /// original from that point on: same pops, same cancel results
+        /// (keys issued before the clone stay valid against it), same
+        /// slot recycling for post-clone pushes. This is the contract
+        /// the machine snapshot/fork path rests on.
+        #[test]
+        fn prop_clone_replays_identically(
+            pre in proptest::collection::vec((0u16..4, 0u64..300, 0u8..3), 1..120),
+            post in proptest::collection::vec((0u16..5, 0u64..300, 0u8..3), 1..120),
+        ) {
+            let mut q = ShardedEventQueue::new(3);
+            let mut keys: Vec<ShardKey> = Vec::new();
+            let mut next_id = 0u64;
+            for (op, t, shard) in pre {
+                match op {
+                    0 | 1 => {
+                        keys.push(q.push(shard as usize, SimTime::from_micros(t), next_id));
+                        next_id += 1;
+                    }
+                    2 => {
+                        q.pop();
+                    }
+                    _ => {
+                        if !keys.is_empty() {
+                            let pick = (t as usize) % keys.len();
+                            q.cancel(keys[pick]);
+                        }
+                    }
+                }
+            }
+            let mut fork = q.clone();
+            prop_assert_eq!(fork.len(), q.len());
+            for (op, t, shard) in post {
+                match op {
+                    0 | 1 => {
+                        let at = SimTime::from_micros(t);
+                        let ka = q.push(shard as usize, at, next_id);
+                        let kb = fork.push(shard as usize, at, next_id);
+                        prop_assert_eq!(ka, kb, "clone must recycle identical slots");
+                        keys.push(ka);
+                        next_id += 1;
+                    }
+                    2 => {
+                        prop_assert_eq!(q.pop(), fork.pop());
+                    }
+                    3 => {
+                        let deadline = SimTime::from_micros(t);
+                        prop_assert_eq!(
+                            q.pop_at_or_before(deadline),
+                            fork.pop_at_or_before(deadline)
+                        );
+                    }
+                    _ => {
+                        if !keys.is_empty() {
+                            let pick = (t as usize) % keys.len();
+                            prop_assert_eq!(q.cancel(keys[pick]), fork.cancel(keys[pick]));
+                        }
+                    }
+                }
+                prop_assert_eq!(q.len(), fork.len());
+                prop_assert_eq!(q.peek_time(), fork.peek_time());
+            }
+            loop {
+                let (a, b) = (q.pop(), fork.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
         }
 
         /// `pop_at_or_before` equals peek-check-then-pop for arbitrary

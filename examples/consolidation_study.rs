@@ -9,7 +9,7 @@
 //! workload co-runs with swaptions under the baseline and 1..=N static
 //! micro-sliced cores, printing normalized performance per configuration.
 
-use experiments::runner::{PolicyKind, RunOptions};
+use experiments::runner::{Grid, PolicyKind, RunOptions};
 use experiments::{fig4, fig5};
 use workloads::Workload;
 
@@ -46,10 +46,11 @@ fn main() {
 
     println!("{} + swaptions, 12 pCPUs, 2:1 overcommit\n", w.name());
     if w.is_throughput() {
+        let grid = Grid::new(&opts, fig5::WARM);
         println!("{:<10} {:>14} {:>18}", "config", "units/s", "improvement");
         let mut base = None;
         for p in configs {
-            let cell = fig5::run_one(&opts, w, p).unwrap();
+            let cell = fig5::run_one(&opts, &grid, w, p).unwrap();
             let b = *base.get_or_insert(cell.throughput);
             println!(
                 "{:<10} {:>14.0} {:>17.2}x",
@@ -59,10 +60,11 @@ fn main() {
             );
         }
     } else {
+        let grid = Grid::new(&opts, fig4::WARM);
         println!("{:<10} {:>12} {:>16}", "config", "exec (s)", "normalized");
         let mut base = None;
         for p in configs {
-            let cell = fig4::run_one(&opts, w, p).unwrap();
+            let cell = fig4::run_one(&opts, &grid, w, p).unwrap();
             let b = *base.get_or_insert(cell.target_secs);
             println!(
                 "{:<10} {:>12.2} {:>16.3}",

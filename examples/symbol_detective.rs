@@ -21,7 +21,7 @@ use workloads::{scenarios, Workload};
 fn main() {
     let (cfg, specs) = scenarios::corun(Workload::Gmake);
     let mut machine = Machine::new(cfg, specs, Box::new(BaselinePolicy));
-    let engine = DetectionEngine::new();
+    let mut engine = DetectionEngine::new();
     let whitelist = Whitelist::linux44();
 
     println!("Sampling vCPU instruction pointers of the gmake VM:\n");

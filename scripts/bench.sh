@@ -28,6 +28,10 @@ cargo bench -p bench --bench hotpaths -- "$@"
 # end: FIFO admission, a cold cost file (heuristic order + recording),
 # and a warm rerun over the records the cold pass persisted. The
 # cold-vs-warm delta is the adaptive-admission payoff on real cells.
+# These three rows pin --no-fork so they keep measuring the admission
+# axis alone (forking is on by default and would shrink the cells they
+# compare); the fourth row re-enables forking on top of warm admission —
+# its delta against repro_suite_quick_warm is the shared-prefix payoff.
 if [ "$#" -eq 0 ]; then
     cargo build --release -p experiments --bin repro >/dev/null 2>&1
     repro=target/release/repro
@@ -49,14 +53,15 @@ if [ "$#" -eq 0 ]; then
             "$name" "$((total / samples))" "$min" "$samples" "$BENCH_LABEL" >> "$BENCH_JSON"
         echo "suite ${name}: mean $((total / samples / 1000000)) ms over ${samples} runs"
     }
-    time_suite repro_suite_quick_fifo --costs off
+    time_suite repro_suite_quick_fifo --no-fork --costs off
     # One recording pass to warm the cost file, then time cold-style
     # (heuristic only) and warm (recorded EMAs) admission.
     rm -f "$suite_costs"
-    "$repro" --quick --jobs 8 --costs "$suite_costs" --record-costs all >/dev/null 2>/dev/null
-    time_suite repro_suite_quick_warm --costs "$suite_costs"
+    "$repro" --quick --jobs 8 --no-fork --costs "$suite_costs" --record-costs all >/dev/null 2>/dev/null
+    time_suite repro_suite_quick_warm --no-fork --costs "$suite_costs"
+    time_suite repro_suite_quick_fork --costs "$suite_costs"
     rm -f "$suite_costs"
-    time_suite repro_suite_quick_cold --costs "$suite_costs"
+    time_suite repro_suite_quick_cold --no-fork --costs "$suite_costs"
     rm -f "$suite_costs"
 fi
 

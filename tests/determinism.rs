@@ -130,6 +130,91 @@ fn faulted_runs_byte_identical_across_jobs() {
     );
 }
 
+/// Shared-prefix forking is an execution strategy, never an observable:
+/// forked cells (the default) and from-scratch cells (`--no-fork`) must
+/// render the same bytes, serial and parallel. Cheap always-on guard on
+/// the fastest experiment; the suite-wide contract is release-gated
+/// below.
+#[test]
+fn forked_cells_byte_identical_fig9() {
+    let scratch = RunOptions {
+        fork: false,
+        ..RunOptions::quick()
+    };
+    let baseline = render_with(&scratch.with_jobs(1), "fig9");
+    assert_eq!(
+        baseline,
+        render("fig9", 1),
+        "fig9: --fork diverged from --no-fork at --jobs 1"
+    );
+    assert_eq!(
+        baseline,
+        render("fig9", 8),
+        "fig9: --fork diverged from --no-fork at --jobs 8"
+    );
+}
+
+/// Fault plans and paranoid sweeps ride through the fork boundary: the
+/// warm prefix simulates them once and every fork inherits the same
+/// pending faults, so `--faults --paranoid` output is still independent
+/// of the fork strategy.
+#[test]
+fn forked_faulted_paranoid_byte_identical_fig9() {
+    let spec = hypervisor::FaultSpec::parse("count=16,window_ms=200").unwrap();
+    let opts = RunOptions {
+        faults: Some(spec),
+        paranoid: true,
+        keep_going: true,
+        ..RunOptions::quick()
+    };
+    let forked = render_with(&opts.with_jobs(2), "fig9");
+    let scratch = render_with(
+        &RunOptions {
+            fork: false,
+            ..opts
+        }
+        .with_jobs(2),
+        "fig9",
+    );
+    assert_eq!(
+        forked, scratch,
+        "fig9: fork changed a faulted paranoid run's bytes"
+    );
+}
+
+/// The acceptance contract for the snapshot/fork tentpole: every
+/// experiment, across seeds and job counts, renders byte-identical
+/// output whether cells fork the shared warm snapshot or re-simulate
+/// from scratch. Release-gated like the other whole-suite tests.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
+fn forked_suite_byte_identical_to_scratch() {
+    for seed in [0xE005_2018, 0xA5] {
+        for id in experiments::ALL_EXPERIMENTS {
+            let opts = RunOptions {
+                seed,
+                ..RunOptions::quick()
+            };
+            let forked = render_with(&opts.with_jobs(8), id);
+            let scratch = render_with(
+                &RunOptions {
+                    fork: false,
+                    ..opts
+                }
+                .with_jobs(8),
+                id,
+            );
+            assert_eq!(
+                forked, scratch,
+                "{id}: fork diverged from scratch at seed {seed:#x}"
+            );
+        }
+    }
+}
+
 /// Renders one experiment under a cost context (budget + model +
 /// recorder), i.e. the code path `repro --costs` takes.
 fn render_with_costs(

@@ -16,7 +16,7 @@
 //!   (the fan-out path exercises all three structures concurrently).
 
 use guest::segment::{FlatProgram, Program, ScriptedProgram, Segment};
-use hypervisor::pcpu::{Pcpu, RunqEntry};
+use hypervisor::pcpu::{first_rank_above, Pcpu, RunqEntry};
 use hypervisor::Prio;
 use simcore::event::{EventQueue, ShardedEventQueue};
 use simcore::ids::{PcpuId, VcpuId, VmId};
@@ -90,6 +90,53 @@ impl RefRunq {
 
     fn entries(&self) -> Vec<RunqEntry> {
         self.runq.iter().copied().collect()
+    }
+}
+
+/// The scalar insert-position scan `first_rank_above` replaced, verbatim.
+fn scalar_first_rank_above(keys: &[u8], rank: u8) -> usize {
+    keys.iter().position(|&k| k > rank).unwrap_or(keys.len())
+}
+
+/// The SWAR insert-position scan must agree with the scalar scan on
+/// every length (word-aligned and ragged tails), every rank the queue
+/// produces, and the degenerate ranks that force the scalar fallback.
+#[test]
+fn swar_insert_scan_matches_scalar_reference() {
+    // Exhaustive over realistic queues: all sorted rank-triple contents
+    // up to length 12 would be huge, so sweep lengths with pseudo-random
+    // sorted and unsorted fills instead, plus the all-equal edges.
+    let mut rng = SimRng::new(0x54A2);
+    for len in 0..40usize {
+        for _ in 0..64 {
+            let mut keys: Vec<u8> = (0..len).map(|_| rng.range_u64(0, 3) as u8).collect();
+            for rank in 0..4u8 {
+                assert_eq!(
+                    first_rank_above(&keys, rank),
+                    scalar_first_rank_above(&keys, rank),
+                    "unsorted keys {keys:?}, rank {rank}"
+                );
+            }
+            keys.sort_unstable();
+            for rank in 0..4u8 {
+                assert_eq!(
+                    first_rank_above(&keys, rank),
+                    scalar_first_rank_above(&keys, rank),
+                    "sorted keys {keys:?}, rank {rank}"
+                );
+            }
+        }
+        // All-equal fills hit the "no key above" path at every length.
+        for fill in 0..3u8 {
+            let keys = vec![fill; len];
+            for rank in [0, 1, 2, 0x7e, 0x7f, 0xff] {
+                assert_eq!(
+                    first_rank_above(&keys, rank),
+                    scalar_first_rank_above(&keys, rank),
+                    "uniform keys {fill}x{len}, rank {rank}"
+                );
+            }
+        }
     }
 }
 

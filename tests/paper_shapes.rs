@@ -2,7 +2,7 @@
 //! budget. The full-budget reproduction lives in the bench harness and
 //! `EXPERIMENTS.md`; these tests guard the directions.
 
-use experiments::runner::{PolicyKind, RunOptions};
+use experiments::runner::{Grid, PolicyKind, RunOptions};
 use experiments::{fig4, fig5, fig9, table4};
 use workloads::Workload;
 
@@ -19,8 +19,10 @@ fn lock_bound_pair_improves_with_one_micro_core() {
     // memclone (Figure 4, left half): a single micro-sliced core must
     // shorten the target's execution time substantially. (gmake shows
     // the direction only at the full budget.)
-    let base = fig4::run_one(&opts(), Workload::Memclone, PolicyKind::Baseline).unwrap();
-    let one = fig4::run_one(&opts(), Workload::Memclone, PolicyKind::Fixed(1)).unwrap();
+    let o = opts();
+    let grid = Grid::new(&o, fig4::WARM);
+    let base = fig4::run_one(&o, &grid, Workload::Memclone, PolicyKind::Baseline).unwrap();
+    let one = fig4::run_one(&o, &grid, Workload::Memclone, PolicyKind::Fixed(1)).unwrap();
     assert!(
         one.target_secs < base.target_secs * 0.7,
         "memclone: {} vs baseline {}",
@@ -56,8 +58,10 @@ fn tlb_bound_pairs_prefer_multiple_micro_cores() {
 
 #[test]
 fn exim_throughput_improves_substantially() {
-    let base = fig5::run_one(&opts(), Workload::Exim, PolicyKind::Baseline).unwrap();
-    let one = fig5::run_one(&opts(), Workload::Exim, PolicyKind::Fixed(1)).unwrap();
+    let o = opts();
+    let grid = Grid::new(&o, fig5::WARM);
+    let base = fig5::run_one(&o, &grid, Workload::Exim, PolicyKind::Baseline).unwrap();
+    let one = fig5::run_one(&o, &grid, Workload::Exim, PolicyKind::Fixed(1)).unwrap();
     let improvement = one.throughput / base.throughput;
     assert!(
         improvement > 1.12,
@@ -99,8 +103,10 @@ fn spinlock_waits_collapse_under_acceleration() {
 
 #[test]
 fn mixed_vcpu_io_restored_by_microslicing() {
-    let base = fig9::measure_one(&opts(), true, PolicyKind::Baseline).unwrap();
-    let fast = fig9::measure_one(&opts(), true, PolicyKind::Fixed(1)).unwrap();
+    let o = opts();
+    let grid = Grid::new(&o, fig9::WARM);
+    let base = fig9::measure_one(&o, &grid, true, PolicyKind::Baseline).unwrap();
+    let fast = fig9::measure_one(&o, &grid, true, PolicyKind::Fixed(1)).unwrap();
     assert!(fast.bandwidth_mbps > base.bandwidth_mbps * 1.1);
     assert!(fast.jitter_ms < base.jitter_ms * 0.3);
 }
