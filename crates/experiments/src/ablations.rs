@@ -12,7 +12,7 @@
 //!   criticizes for hurting cache-sensitive user work.
 
 use crate::runner::{
-    build, err_row, finish_time, run_cells, CellFailure, CellResult, Grid, PolicyKind, RunOptions,
+    build, fail_row, finish_time, run_cells, CellFailure, CellResult, Grid, PolicyKind, RunOptions,
 };
 use hypervisor::{MachineConfig, VmSpec};
 use metrics::render::Table;
@@ -79,7 +79,7 @@ pub fn run_slice_sweep(opts: &RunOptions) -> Vec<Table> {
                 format!("{rate:.0}"),
                 "ERR".to_string(),
             ]),
-            (Err(_), _) => t.row(err_row(format!("{us} us"), 2)),
+            (Err(e), _) => t.row(fail_row(format!("{us} us"), 2, &e.failure)),
         }
     }
     vec![t]
@@ -111,7 +111,7 @@ pub fn run_runq_cap(opts: &RunOptions) -> Vec<Table> {
     for (cap, secs) in CAPS.iter().zip(&times) {
         match secs {
             Ok(secs) => t.row(vec![cap.to_string(), format!("{secs:.2}")]),
-            Err(_) => t.row(err_row(cap.to_string(), 1)),
+            Err(e) => t.row(fail_row(cap.to_string(), 1, &e.failure)),
         }
     }
     vec![t]
@@ -169,7 +169,7 @@ pub fn run_detection_off(opts: &RunOptions) -> Vec<Table> {
     for (label, rate) in DETECTION_LABELS.iter().zip(&rates) {
         match rate {
             Ok(rate) => t.row(vec![label.to_string(), format!("{rate:.0}")]),
-            Err(_) => t.row(err_row(label.to_string(), 1)),
+            Err(e) => t.row(fail_row(label.to_string(), 1, &e.failure)),
         }
     }
     vec![t]
@@ -236,7 +236,7 @@ pub fn run_fixed_usliced(opts: &RunOptions) -> Vec<Table> {
                 format!("{exim:.0}"),
                 format!("{swapt:.0}"),
             ]),
-            Err(_) => t.row(err_row(label.to_string(), 2)),
+            Err(e) => t.row(fail_row(label.to_string(), 2, &e.failure)),
         }
     }
     vec![t]

@@ -3,8 +3,10 @@
 //! ```text
 //! repro [--quick] [--csv] [--seed N] [--jobs N] [--faults SPEC]
 //!       [--keep-going] [--paranoid] [--costs PATH|off] [--record-costs]
-//!       [--fork|--no-fork] <experiment>...
+//!       [--fork|--no-fork] [--watchdog SECS|off] [--artifacts DIR]
+//!       [--resume] [--ledger PATH] <experiment>...
 //! repro all
+//! repro cell <experiment> --cell B:I [--seed N] [--faults SPEC] ...
 //! repro list
 //! ```
 //!
@@ -38,13 +40,45 @@
 //!
 //! `--faults SPEC` injects a deterministic fault plan into every run
 //! (SPEC like `seed=7,count=40` — see `hypervisor::FaultSpec`).
-//! `--keep-going` renders failed grid cells as `ERR` instead of aborting;
-//! without it a failing cell aborts after the grid completes, naming the
-//! (scenario, policy, seed) cell. `--paranoid` re-checks the machine
-//! invariants on every accounting tick.
+//! `--keep-going` renders failed grid cells as `ERR`/`HUNG` instead of
+//! aborting, reporting each failure's crash-artifact path and replay
+//! command on stderr; without it a failing cell aborts after the grid
+//! completes, naming the (scenario, policy, seed) cell. `--paranoid`
+//! re-checks the machine invariants on every accounting tick.
+//!
+//! ## Crash resilience
+//!
+//! Every cell runs inside a crash session: a flight recorder in the
+//! machine keeps the last few hundred events, and a cell that dies — sim
+//! error, invariant violation, or panic — dumps a crash artifact under
+//! `--artifacts DIR` (default `crash/`) containing the event ring, the
+//! fault plan (shrunk to a minimal reproducing prefix when possible),
+//! the RNG stream position, and a self-contained `repro cell ...` replay
+//! command.
+//!
+//! `--watchdog SECS` (default 60, `off` to disable) arms a wall-clock
+//! watchdog per cell: the deadline is `max(SECS, 8x the cell's estimated
+//! cost)` from the `--costs` model, a blown deadline cancels just that
+//! cell — rendered as a `HUNG` row — and the suite continues.
+//!
+//! `repro cell <experiment> --cell B:I` re-executes exactly one cell of
+//! one experiment (batch `B`, index `I`, as named by a crash artifact's
+//! replay command), skipping every other cell. Exit status: 0 if the
+//! cell passed, 3 if it failed (a fresh artifact is written), 4 if the
+//! grid has no such cell.
+//!
+//! `--resume` records each experiment's rendered stdout in a run ledger
+//! (`--ledger PATH`, default `RUN_LEDGER.txt`) keyed by an options
+//! fingerprint, committing after the bytes print. Re-running the same
+//! command after a crash or SIGKILL replays committed experiments
+//! byte-identically from the ledger and computes only the rest, so the
+//! restarted run's stdout is byte-identical to an uninterrupted one. A
+//! ledger recorded under different options (seed, quick, faults, csv) is
+//! discarded, never replayed.
 
 use experiments::runner::cost::{render_report, CostModel, CostRecorder};
-use experiments::runner::pool::{self, Budget};
+use experiments::runner::ledger::{fnv64, RunLedger};
+use experiments::runner::pool::{self, Budget, Scope};
 use experiments::{run_experiment, RunOptions, ALL_EXPERIMENTS};
 use hypervisor::FaultSpec;
 use metrics::render::Table;
@@ -56,8 +90,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--csv] [--seed N] [--jobs N] [--faults SPEC] \
          [--keep-going] [--paranoid] [--costs PATH|off] [--record-costs] \
-         [--fork|--no-fork] <experiment>... | all | list"
+         [--fork|--no-fork] [--watchdog SECS|off] [--artifacts DIR] \
+         [--resume] [--ledger PATH] <experiment>... | all | list"
     );
+    eprintln!("       repro cell <experiment> --cell B:I [options]");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
 }
@@ -73,6 +109,13 @@ fn main() {
     let mut csv = false;
     let mut costs_path: Option<PathBuf> = Some(PathBuf::from("COSTS.json"));
     let mut record_costs = false;
+    let mut artifacts = PathBuf::from("crash");
+    let mut watchdog: Option<Duration> = Some(Duration::from_secs(60));
+    let mut cell_mode = false;
+    let mut cell_filter: Option<(usize, usize)> = None;
+    let mut resume = false;
+    let mut ledger_path = PathBuf::from("RUN_LEDGER.txt");
+    let mut ledger_flag = false;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -107,6 +150,34 @@ fn main() {
             "--paranoid" => opts.paranoid = true,
             "--fork" => opts.fork = true,
             "--no-fork" => opts.fork = false,
+            "--watchdog" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                watchdog = match v.as_str() {
+                    "off" => None,
+                    secs => Some(Duration::from_secs(
+                        secs.parse().unwrap_or_else(|_| usage()),
+                    )),
+                };
+            }
+            "--artifacts" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                artifacts = PathBuf::from(v);
+            }
+            "--cell" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let (b, i) = v.split_once(':').unwrap_or_else(|| usage());
+                cell_filter = Some((
+                    b.parse().unwrap_or_else(|_| usage()),
+                    i.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--resume" => resume = true,
+            "--ledger" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                ledger_path = PathBuf::from(v);
+                ledger_flag = true;
+            }
+            "cell" if ids.is_empty() && !cell_mode => cell_mode = true,
             "list" => {
                 for id in ALL_EXPERIMENTS {
                     println!("{id}");
@@ -128,10 +199,47 @@ fn main() {
         eprintln!("unknown experiment {bad:?}");
         usage();
     }
+    if cell_mode {
+        if cell_filter.is_none() || ids.len() != 1 {
+            eprintln!("repro cell takes exactly one experiment and a --cell B:I selector");
+            usage();
+        }
+        // A replay must re-execute the cell, not re-print recorded bytes,
+        // and must report the failure rather than abort on it.
+        opts.keep_going = true;
+        if resume {
+            eprintln!("--resume is ignored under repro cell (replays always re-execute)");
+            resume = false;
+        }
+    } else if cell_filter.is_some() {
+        eprintln!("--cell requires the cell subcommand");
+        usage();
+    }
+    if ledger_flag && !resume {
+        eprintln!("--ledger has no effect without --resume");
+    }
     if record_costs && costs_path.is_none() {
         eprintln!("--record-costs has no effect with --costs off");
         record_costs = false;
     }
+    // The run ledger is keyed by every option that can change stdout
+    // bytes. Scheduling knobs (--jobs, --fork, --costs) are deliberately
+    // absent: stdout is byte-identical across them by contract, so a
+    // ledger recorded under one is safe to replay under another.
+    let ledger: Option<RunLedger> = resume.then(|| {
+        let fingerprint = fnv64(
+            format!(
+                "quick={} csv={} seed={:#x} paranoid={} faults={}",
+                opts.quick,
+                csv,
+                opts.seed,
+                opts.paranoid,
+                opts.faults.map(|f| f.to_string()).unwrap_or_default()
+            )
+            .as_bytes(),
+        );
+        RunLedger::open(&ledger_path, fingerprint)
+    });
     // The cost model is advisory: a missing/corrupt file loads empty and
     // unrecorded cells fall back to the grid-size heuristic. Quick and
     // full budgets record under distinct keys — their cells cost ~4x
@@ -157,18 +265,40 @@ fn main() {
         label
     };
     // Every experiment run goes through this wrapper so cost-ordered
-    // admission and recording apply uniformly to the streamed fan-out
-    // and the serial loop.
-    let run_one = |id: &str| -> Vec<Table> {
-        match &cost_setup {
+    // admission, cost recording, and the crash-resilience scope (crash
+    // artifacts, watchdogs, the `repro cell` filter) apply uniformly to
+    // the streamed fan-out and the serial loop.
+    let run_one = |id: &str| -> (Vec<Table>, Arc<Scope>) {
+        let mut scope = Scope::new(id, &artifacts);
+        if let Some(floor) = watchdog {
+            scope = scope.with_watchdog(floor);
+        }
+        if let Some((b, i)) = cell_filter {
+            scope = scope.with_filter(b, i);
+        }
+        if let Some((model, _)) = &cost_setup {
+            scope = scope.with_cost_model(&experiment_label(id), Arc::clone(model));
+        }
+        let scope = Arc::new(scope);
+        let tables = pool::with_scope(&scope, || match &cost_setup {
             Some((model, recorder)) => {
                 pool::with_costs(&experiment_label(id), model, recorder, || {
                     run_experiment(id, &opts).expect("ids validated above")
                 })
             }
             None => run_experiment(id, &opts).expect("ids validated above"),
+        });
+        (tables, scope)
+    };
+    // `None` marks an experiment already committed to the ledger; its
+    // recorded bytes replay at emit time instead of recomputing.
+    let plan_one = |id: &str| -> Option<(Vec<Table>, Arc<Scope>)> {
+        match &ledger {
+            Some(l) if l.completed(id).is_some() => None,
+            _ => Some(run_one(id)),
         }
     };
+    let mut cell_scope: Option<Arc<Scope>> = None;
     if opts.jobs > 1 && ids.len() > 1 {
         // Cross-experiment fan-out: every experiment gets a driver
         // thread, and one global budget of `--jobs` permits gates cell
@@ -180,16 +310,21 @@ fn main() {
             ids.len(),
             |i| {
                 let started = Instant::now();
-                let tables = pool::with_budget(&budget, || run_one(&ids[i]));
-                (tables, started.elapsed())
+                let out = pool::with_budget(&budget, || plan_one(&ids[i]));
+                (out, started.elapsed())
             },
-            |i, (tables, elapsed)| emit(&ids[i], tables, elapsed, csv),
+            |i, (out, elapsed)| {
+                emit(&ids[i], out, elapsed, csv, ledger.as_ref());
+            },
         );
     } else {
         for id in &ids {
             let started = Instant::now();
-            let tables = run_one(id);
-            emit(id, tables, started.elapsed(), csv);
+            let out = plan_one(id);
+            let scope = emit(id, out, started.elapsed(), csv, ledger.as_ref());
+            if cell_mode {
+                cell_scope = scope;
+            }
         }
     }
     if record_costs {
@@ -204,18 +339,65 @@ fn main() {
             }
         }
     }
-}
-
-/// Prints one experiment's tables to stdout and its timing to stderr —
-/// the single rendering path both the serial loop and the streamed
-/// fan-out go through, so their bytes cannot drift apart.
-fn emit(id: &str, tables: Vec<Table>, elapsed: Duration, csv: bool) {
-    for table in tables {
-        if csv {
-            print!("{}", table.render_csv());
-        } else {
-            println!("{}", table.render());
+    if cell_mode {
+        let scope = cell_scope.expect("cell mode always executes its one experiment");
+        if !scope.matched() {
+            let (b, i) = cell_filter.expect("cell mode requires --cell");
+            eprintln!("cell {b}:{i} never ran — the experiment grid has no such cell");
+            std::process::exit(4);
+        }
+        if scope.failed() {
+            std::process::exit(3);
         }
     }
-    eprintln!("[{id} done in {elapsed:.1?}]");
+}
+
+/// Renders one experiment's tables to the exact bytes stdout receives —
+/// the single formatting path shared by fresh runs and ledger commits,
+/// so replayed bytes cannot drift from recomputed ones.
+fn render_output(tables: &[Table], csv: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for table in tables {
+        if csv {
+            let _ = write!(out, "{}", table.render_csv());
+        } else {
+            let _ = writeln!(out, "{}", table.render());
+        }
+    }
+    out
+}
+
+/// Prints one experiment's output to stdout and its timing to stderr —
+/// the single emission path both the serial loop and the streamed
+/// fan-out go through, so their bytes cannot drift apart. A fresh run
+/// (`Some`) renders, prints, and then commits to the ledger; a completed
+/// one (`None`) replays the ledger's recorded bytes verbatim. Returns
+/// the fresh run's scope for `repro cell` status reporting.
+fn emit(
+    id: &str,
+    out: Option<(Vec<Table>, Arc<Scope>)>,
+    elapsed: Duration,
+    csv: bool,
+    ledger: Option<&RunLedger>,
+) -> Option<Arc<Scope>> {
+    match out {
+        Some((tables, scope)) => {
+            let rendered = render_output(&tables, csv);
+            print!("{rendered}");
+            if let Some(ledger) = ledger {
+                ledger.commit(id, &rendered);
+            }
+            eprintln!("[{id} done in {elapsed:.1?}]");
+            Some(scope)
+        }
+        None => {
+            let rendered = ledger
+                .and_then(|l| l.completed(id))
+                .expect("None is only planned for ledger-completed experiments");
+            print!("{rendered}");
+            eprintln!("[{id} replayed from ledger]");
+            None
+        }
+    }
 }

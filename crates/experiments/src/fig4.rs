@@ -7,7 +7,7 @@
 //! (dedup, vips) *lose* with one core and win with 2–3; beyond that the
 //! shrinking normal pool erodes the gains.
 
-use crate::runner::{err_row, finish_time, run_cells, CellResult, Grid, PolicyKind, RunOptions};
+use crate::runner::{fail_row, finish_time, run_cells, CellResult, Grid, PolicyKind, RunOptions};
 use hypervisor::{Machine, MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -167,7 +167,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                         format!("{:.2}", c.target_secs),
                         format!("{:.0}", c.corunner_rate),
                     ]),
-                    (Err(_), _) => t.row(err_row(configs[ci].label(), 4)),
+                    (Err(e), _) => t.row(fail_row(configs[ci].label(), 4, &e.failure)),
                 }
             }
             t

@@ -2,7 +2,7 @@
 //! exim and psearchy (throughput benchmarks), with the swaptions
 //! co-runner's execution time on the second axis.
 
-use crate::runner::{err_row, run_cells, CellFailure, CellResult, Grid, PolicyKind, RunOptions};
+use crate::runner::{fail_row, run_cells, CellFailure, CellResult, Grid, PolicyKind, RunOptions};
 use hypervisor::{Machine, MachineConfig, VmSpec};
 use metrics::render::Table;
 use simcore::ids::VmId;
@@ -147,7 +147,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                         "ERR".to_string(),
                         format!("{:.0}", c.throughput),
                     ]),
-                    (Err(_), _) => t.row(err_row(configs[ci].label(), 3)),
+                    (Err(e), _) => t.row(fail_row(configs[ci].label(), 3, &e.failure)),
                 }
             }
             t

@@ -4,7 +4,7 @@
 //! best static core count, and Algorithm 1. The reproduction target:
 //! dynamic tracks static-best closely and both beat the baseline.
 
-use crate::runner::{err_row, run_cells, CellError, CellResult, Grid, PolicyKind, RunOptions};
+use crate::runner::{fail_row, run_cells, CellError, CellResult, Grid, PolicyKind, RunOptions};
 use metrics::render::Table;
 use workloads::Workload;
 
@@ -133,7 +133,11 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
     .with_title("Figure 6: static best vs dynamic micro-sliced cores");
     for (w, cells) in measure(opts) {
         let [Ok(b), Ok(s), Ok(d)] = &cells else {
-            t.row(err_row(format!("{} + swaptions", w.name()), 6));
+            let e = cells
+                .iter()
+                .find_map(|c| c.as_ref().err())
+                .expect("the else branch implies a failed cell");
+            t.row(fail_row(format!("{} + swaptions", w.name()), 6, &e.failure));
             continue;
         };
         let base = b.metric;

@@ -7,7 +7,7 @@
 //! utilization.
 
 use crate::runner::{
-    err_row, run_cells, CellError, CellFailure, CellResult, Grid, PolicyKind, RunOptions,
+    fail_row, run_cells, CellError, CellFailure, CellResult, Grid, PolicyKind, RunOptions,
 };
 use hypervisor::stats::YieldBreakdown;
 use metrics::render::Table;
@@ -123,8 +123,8 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                         None => "ERR".to_string(),
                     },
                 ]),
-                Err(_) => {
-                    let mut row = err_row(w.name().to_string(), 7);
+                Err(e) => {
+                    let mut row = fail_row(w.name().to_string(), 7, &e.failure);
                     row[1] = label.to_string();
                     t.row(row);
                 }

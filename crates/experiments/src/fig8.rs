@@ -5,7 +5,7 @@
 //! scheme's profiling changes their execution time by only a few percent.
 
 use crate::runner::{
-    err_row, finish_time, run_cells, CellError, CellResult, Grid, PolicyKind, RunOptions,
+    fail_row, finish_time, run_cells, CellError, CellResult, Grid, PolicyKind, RunOptions,
 };
 use hypervisor::{MachineConfig, VmSpec};
 use metrics::render::Table;
@@ -113,7 +113,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                     format!("{:+.1}%", (norm - 1.0) * 100.0),
                 ]);
             }
-            Err(_) => t.row(err_row(set[wi].name().to_string(), 4)),
+            Err(e) => t.row(fail_row(set[wi].name().to_string(), 4, &e.failure)),
         }
     }
     vec![t]

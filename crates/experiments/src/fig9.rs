@@ -7,7 +7,7 @@
 //! bandwidth and drives jitter toward zero.
 
 use crate::runner::{
-    err_row, run_cells, CellError, CellFailure, CellResult, Grid, PolicyKind, RunOptions,
+    fail_row, run_cells, CellError, CellFailure, CellResult, Grid, PolicyKind, RunOptions,
 };
 use metrics::render::{fmt_f64, Table};
 use simcore::ids::VmId;
@@ -117,8 +117,8 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                 fmt_f64(r.jitter_ms),
                 r.dropped.to_string(),
             ]),
-            Err(_) => {
-                let mut row = err_row(grid_transport(i).to_string(), 4);
+            Err(e) => {
+                let mut row = fail_row(grid_transport(i).to_string(), 4, &e.failure);
                 row[1] = config;
                 t.row(row);
             }

@@ -2,17 +2,20 @@
 
 pub mod cost;
 pub mod grid;
+pub mod ledger;
 pub mod parallel;
 pub mod pool;
 
 pub use grid::Grid;
 
 use hypervisor::policy::SchedPolicy;
-use hypervisor::{BaselinePolicy, FaultSpec, Machine, MachineConfig, SimError, VmSpec};
+use hypervisor::{crash, BaselinePolicy, FaultSpec, Machine, MachineConfig, SimError, VmSpec};
 use microslice::{AdaptiveConfig, MicroslicePolicy};
 use simcore::ids::VmId;
 use simcore::time::{SimDuration, SimTime};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// Which scheduling policy a run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -167,6 +170,10 @@ pub enum CellFailure {
     /// truncated run would corrupt normalized execution times, so it is
     /// reported as a failure instead.
     Horizon,
+    /// The cell was not executed because a `repro cell --cell B:I`
+    /// single-cell filter selected a different cell. Rendered as `SKIP`,
+    /// never treated as a real failure.
+    Skipped,
 }
 
 impl std::fmt::Display for CellFailure {
@@ -175,18 +182,37 @@ impl std::fmt::Display for CellFailure {
             CellFailure::Panic(msg) => write!(f, "panicked: {msg}"),
             CellFailure::Sim(e) => write!(f, "simulation error: {e}"),
             CellFailure::Horizon => write!(f, "did not finish within the horizon"),
+            CellFailure::Skipped => write!(f, "skipped by the --cell filter"),
         }
     }
 }
 
 /// A cell failure tagged with the `(scenario, policy, seed)` label of the
-/// grid cell it happened in.
+/// grid cell it happened in, plus the crash artifact written for it (when
+/// a [`pool::Scope`] was active).
 #[derive(Clone, Debug)]
 pub struct CellError {
     /// Which cell, e.g. `fig4[dedup x 3, seed 0xe0052018]`.
     pub label: String,
     /// What went wrong.
     pub failure: CellFailure,
+    /// Path of the crash artifact holding the flight-recorder dump, if
+    /// one was written.
+    pub artifact: Option<PathBuf>,
+    /// Self-contained `repro cell ...` command replaying this failure, if
+    /// an artifact was written.
+    pub replay: Option<String>,
+}
+
+impl CellError {
+    fn bare(label: String, failure: CellFailure) -> Self {
+        CellError {
+            label,
+            failure,
+            artifact: None,
+            replay: None,
+        }
+    }
 }
 
 impl std::fmt::Display for CellError {
@@ -210,35 +236,285 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 /// `catch_unwind`: a panicking or failing cell becomes an `Err` carrying
 /// `label(i)` instead of taking the whole grid down. Without
 /// `opts.keep_going` the first failure still aborts — but only after the
-/// whole grid ran, and the panic message names the failing cell.
+/// whole grid ran, and the panic message names the failing cell (and its
+/// crash artifact, when one was written).
+///
+/// When the calling thread carries a [`pool::Scope`] (`repro` installs
+/// one per experiment), every cell additionally runs inside an armed
+/// [`hypervisor::crash`] session with an optional wall-clock watchdog: a
+/// failing cell dumps a crash artifact with the machine's flight
+/// recorder, a minimized fault plan, and a self-contained replay
+/// command. All of that is worker-side and stderr-side only — stdout
+/// bytes never depend on whether a scope is installed.
 pub fn run_cells<T, L, F>(opts: &RunOptions, n: usize, label: L, f: F) -> Vec<Result<T, CellError>>
 where
     T: Send,
     L: Fn(usize) -> String + Sync,
     F: Fn(usize) -> CellResult<T> + Sync,
 {
+    let scope = pool::current_scope();
+    // Claimed on the driver thread in program order, exactly like
+    // `CostContext::plan_batch`, so a cell's `batch:index` coordinate is
+    // stable across runs, job counts, and admission orders — that is
+    // what makes `repro cell --cell B:I` replays well-defined.
+    let batch = scope.as_ref().map(|s| s.claim_batch());
     let out: Vec<Result<T, CellError>> = parallel::run_indexed(opts.jobs, n, |i| {
-        catch_unwind(AssertUnwindSafe(|| f(i)))
-            .unwrap_or_else(|p| Err(CellFailure::Panic(panic_text(p))))
-            .map_err(|failure| CellError {
-                label: label(i),
-                failure,
-            })
-    });
-    if !opts.keep_going {
-        if let Some(Err(e)) = out.iter().find(|r| r.is_err()) {
-            panic!("experiment cell failed — {e}; re-run with --keep-going to render it as ERR and finish the rest of the grid");
+        let guarded = || {
+            catch_unwind(AssertUnwindSafe(|| f(i)))
+                .unwrap_or_else(|p| Err(CellFailure::Panic(panic_text(p))))
+        };
+        match (&scope, batch) {
+            (Some(scope), Some(batch)) => {
+                run_cell_scoped(scope, opts, batch, i, n, &label(i), &guarded)
+            }
+            _ => guarded().map_err(|failure| CellError::bare(label(i), failure)),
         }
+    });
+    let real_failures = || {
+        out.iter()
+            .filter_map(|r| r.as_ref().err())
+            .filter(|e| !matches!(e.failure, CellFailure::Skipped))
+    };
+    if opts.keep_going {
+        // Driver-side and stderr-only, so the report order is
+        // deterministic and stdout byte-identity is untouched. Only under
+        // a scope: library callers (tests) keep today's quiet behavior.
+        if scope.is_some() {
+            for e in real_failures() {
+                eprintln!("cell failed — {e}");
+                if let Some(p) = &e.artifact {
+                    eprintln!("  artifact: {}", p.display());
+                }
+                if let Some(cmd) = &e.replay {
+                    eprintln!("  replay: {cmd}");
+                }
+            }
+        }
+    } else if let Some(e) = real_failures().next() {
+        let mut msg = format!("experiment cell failed — {e}");
+        if let Some(p) = &e.artifact {
+            msg.push_str(&format!("; crash artifact: {}", p.display()));
+        }
+        if let Some(cmd) = &e.replay {
+            msg.push_str(&format!("; replay: {cmd}"));
+        }
+        msg.push_str(
+            "; re-run with --keep-going to render it as ERR and finish the rest of the grid",
+        );
+        panic!("{msg}");
     }
     out
 }
 
-/// A table row for a failed cell: the label followed by `cols` `ERR`
-/// columns.
-pub fn err_row(label: String, cols: usize) -> Vec<String> {
+/// How a failed cell renders in a table: `HUNG` for a watchdog
+/// cancellation, `SKIP` for a cell elided by the `--cell` filter, `ERR`
+/// for everything else.
+pub fn fail_text(failure: &CellFailure) -> &'static str {
+    match failure {
+        CellFailure::Sim(SimError::Watchdog { .. }) => "HUNG",
+        CellFailure::Skipped => "SKIP",
+        _ => "ERR",
+    }
+}
+
+/// A table row for a failed cell: the label followed by `cols` columns of
+/// the failure's [`fail_text`].
+pub fn fail_row(label: String, cols: usize, failure: &CellFailure) -> Vec<String> {
     let mut row = vec![label];
-    row.extend((0..cols).map(|_| "ERR".to_string()));
+    row.extend((0..cols).map(|_| fail_text(failure).to_string()));
     row
+}
+
+/// The outcome of the post-failure fault-plan shrink pass.
+enum Shrink {
+    /// Shrinking does not apply (no fault plan, or a wall-clock failure).
+    NotAttempted,
+    /// Re-running under the full plan did not reproduce the failure.
+    NotReproducible,
+    /// The first `take` of `total` planned entries reproduce the failure.
+    Minimal { take: u32, total: u32 },
+}
+
+/// Executes one cell under the scope's crash session, watchdog, and cell
+/// filter; on failure, shrinks the fault plan and writes the crash
+/// artifact. Runs on the worker thread that owns the cell.
+fn run_cell_scoped<T>(
+    scope: &pool::Scope,
+    opts: &RunOptions,
+    batch: usize,
+    i: usize,
+    n: usize,
+    label: &str,
+    run: &dyn Fn() -> CellResult<T>,
+) -> Result<T, CellError> {
+    if let Some(filter) = scope.filter() {
+        if filter != (batch, i) {
+            return Err(CellError::bare(label.into(), CellFailure::Skipped));
+        }
+        scope.note_matched();
+    }
+    let deadline = scope.deadline_for(batch, i, n);
+    let attempt = || {
+        crash::with_session(|| match deadline {
+            Some(d) => simcore::watchdog::with_deadline(Instant::now() + d, run),
+            None => run(),
+        })
+    };
+    let failure = match attempt() {
+        Ok(v) => return Ok(v),
+        Err(failure) => failure,
+    };
+    scope.note_failed();
+    // Capture the evidence of the *original* failure before any shrink
+    // probe overwrites the session's report slot.
+    let report = crash::take_report();
+    let plan_len = crash::last_plan_len();
+    let shrink = shrink_fault_plan(opts, &failure, plan_len, &attempt);
+    let (artifact, replay) =
+        match write_artifact(scope, opts, batch, i, label, &failure, &shrink, report) {
+            Some((path, cmd)) => (Some(path), Some(cmd)),
+            None => (None, None),
+        };
+    Err(CellError {
+        label: label.into(),
+        failure,
+        artifact,
+        replay,
+    })
+}
+
+/// Bisects a failing cell's fault plan down to a minimal reproducing
+/// prefix by re-running the cell under
+/// [`crash::with_fault_take`] truncations. Probes run in
+/// [`crash::with_scratch_mode`] so shared-prefix grids
+/// rebuild their warm machines under the truncated plan instead of
+/// forking a snapshot warmed under the full one.
+///
+/// The bisection assumes the usual prefix monotonicity (if `k` entries
+/// reproduce, so do `k + 1`); plans violating it still yield *a*
+/// reproducing prefix, just not always the shortest. "Reproduces" means
+/// an identical failure rendering, so the minimized replay fails with
+/// the same error, not merely some error.
+fn shrink_fault_plan<T>(
+    opts: &RunOptions,
+    failure: &CellFailure,
+    plan_len: u32,
+    attempt: &dyn Fn() -> CellResult<T>,
+) -> Shrink {
+    if opts.faults.is_none()
+        || plan_len == 0
+        || matches!(failure, CellFailure::Sim(SimError::Watchdog { .. }))
+    {
+        return Shrink::NotAttempted;
+    }
+    let want = failure.to_string();
+    let reproduces = |take: u32| -> bool {
+        let probe = crash::with_fault_take(take, || crash::with_scratch_mode(attempt));
+        matches!(probe, Err(f) if f.to_string() == want)
+    };
+    if !reproduces(plan_len) {
+        return Shrink::NotReproducible;
+    }
+    let (mut lo, mut hi) = (1u32, plan_len);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if reproduces(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Shrink::Minimal {
+        take: hi,
+        total: plan_len,
+    }
+}
+
+/// Writes the crash artifact for a failed cell and returns its path plus
+/// the replay command embedded in it. A filesystem error is reported on
+/// stderr and swallowed — artifacts are evidence, not output.
+#[allow(clippy::too_many_arguments)]
+fn write_artifact(
+    scope: &pool::Scope,
+    opts: &RunOptions,
+    batch: usize,
+    i: usize,
+    label: &str,
+    failure: &CellFailure,
+    shrink: &Shrink,
+    report: Option<String>,
+) -> Option<(PathBuf, String)> {
+    use std::fmt::Write as _;
+    let replay_spec = opts.faults.map(|spec| match *shrink {
+        Shrink::Minimal { take, .. } => FaultSpec { take, ..spec },
+        _ => spec,
+    });
+    let mut cmd = format!(
+        "repro cell {} --cell {}:{} --seed {}",
+        scope.experiment(),
+        batch,
+        i,
+        opts.seed
+    );
+    if opts.quick {
+        cmd.push_str(" --quick");
+    }
+    if opts.paranoid {
+        cmd.push_str(" --paranoid");
+    }
+    if let Some(spec) = &replay_spec {
+        let _ = write!(cmd, " --faults \"{spec}\"");
+    }
+    let mut text = String::with_capacity(4096);
+    let _ = writeln!(text, "crash artifact v1");
+    let _ = writeln!(text, "experiment: {}", scope.experiment());
+    let _ = writeln!(text, "cell: {batch}:{i}");
+    let _ = writeln!(text, "label: {label}");
+    let _ = writeln!(text, "failure: {failure}");
+    let _ = writeln!(
+        text,
+        "faults: {}",
+        opts.faults
+            .map_or_else(|| "none".to_string(), |s| s.to_string())
+    );
+    let _ = match shrink {
+        Shrink::NotAttempted => writeln!(text, "shrink: not attempted"),
+        Shrink::NotReproducible => writeln!(
+            text,
+            "shrink: failed to reproduce under re-run; full plan retained"
+        ),
+        Shrink::Minimal { take, total } => writeln!(
+            text,
+            "shrink: {take} of {total} planned entries suffice to reproduce"
+        ),
+    };
+    let _ = writeln!(text, "replay: {cmd}");
+    let _ = writeln!(text, "---- crash report ----");
+    match report {
+        Some(r) => text.push_str(&r),
+        None => {
+            let _ = writeln!(
+                text,
+                "unavailable (the cell failed outside a machine's event loop)"
+            );
+        }
+    }
+    let dir = scope.artifacts_dir();
+    let path = dir.join(format!(
+        "{}-{}-{}-{:#x}.txt",
+        scope.experiment(),
+        batch,
+        i,
+        opts.seed
+    ));
+    let written = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &text));
+    match written {
+        Ok(()) => Some((path, cmd)),
+        Err(e) => {
+            eprintln!("could not write crash artifact {}: {e}", path.display());
+            None
+        }
+    }
 }
 
 /// Converts a `run_until_vm_finished` outcome into a cell result,
@@ -329,6 +605,7 @@ pub fn throughput(m: &Machine, vm: VmId, until: SimTime) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use workloads::scenarios;
     use workloads::Workload;
 
@@ -441,19 +718,85 @@ mod tests {
     }
 
     #[test]
-    fn err_row_fills_columns() {
-        assert_eq!(err_row("x".into(), 2), vec!["x", "ERR", "ERR"]);
+    fn fail_row_fills_columns_by_failure_kind() {
+        assert_eq!(
+            fail_row("x".into(), 2, &CellFailure::Horizon),
+            vec!["x", "ERR", "ERR"]
+        );
+        assert_eq!(
+            fail_row(
+                "x".into(),
+                1,
+                &CellFailure::Sim(SimError::Watchdog { at: SimTime::ZERO })
+            ),
+            vec!["x", "HUNG"]
+        );
+        assert_eq!(
+            fail_row("x".into(), 1, &CellFailure::Skipped),
+            vec!["x", "SKIP"]
+        );
+        assert_eq!(fail_text(&CellFailure::Panic("boom".into())), "ERR");
     }
 
     #[test]
     fn cell_failure_displays() {
-        let e = CellError {
-            label: "fig9[TCP x baseline]".into(),
-            failure: CellFailure::Horizon,
-        };
+        let e = CellError::bare("fig9[TCP x baseline]".into(), CellFailure::Horizon);
         assert_eq!(
             e.to_string(),
             "fig9[TCP x baseline]: did not finish within the horizon"
         );
+    }
+
+    #[test]
+    fn scoped_cells_skip_filtered_indices_and_write_artifacts() {
+        let dir = std::env::temp_dir().join(format!("crash_test_{}", std::process::id()));
+        let opts = RunOptions {
+            keep_going: true,
+            ..RunOptions::quick()
+        };
+        let scope = Arc::new(pool::Scope::new("demo", &dir));
+        let out = pool::with_scope(&scope, || {
+            run_cells(
+                &opts,
+                3,
+                |i| format!("demo[cell {i}]"),
+                |i| {
+                    if i == 1 {
+                        Err(CellFailure::Horizon)
+                    } else {
+                        Ok(i)
+                    }
+                },
+            )
+        });
+        assert!(out[0].is_ok() && out[2].is_ok());
+        let e = out[1].as_ref().unwrap_err();
+        let artifact = e.artifact.as_ref().expect("artifact written");
+        let text = std::fs::read_to_string(artifact).unwrap();
+        assert!(
+            text.contains("failure: did not finish within the horizon"),
+            "{text}"
+        );
+        assert!(
+            text.contains("replay: repro cell demo --cell 0:1"),
+            "{text}"
+        );
+        assert!(e.replay.as_ref().unwrap().contains("--cell 0:1"));
+        assert!(scope.failed());
+
+        // A --cell filter elides every other cell as Skipped and marks
+        // the matched cell on the scope.
+        let scope = Arc::new(pool::Scope::new("demo", &dir).with_filter(0, 2));
+        let out = pool::with_scope(&scope, || {
+            run_cells(&opts, 3, |i| format!("demo[cell {i}]"), Ok)
+        });
+        assert!(matches!(
+            out[0].as_ref().unwrap_err().failure,
+            CellFailure::Skipped
+        ));
+        assert_eq!(*out[2].as_ref().unwrap(), 2);
+        assert!(scope.matched());
+        assert!(!scope.failed());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

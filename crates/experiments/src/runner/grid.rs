@@ -114,7 +114,11 @@ impl Grid {
         scenario: impl FnOnce() -> (MachineConfig, Vec<VmSpec>),
         policy: Box<dyn SchedPolicy>,
     ) -> CellResult<Machine> {
-        let mut m = if self.fork {
+        // Crash-shrink probes truncate the fault plan mid-replay
+        // (`crash::with_scratch_mode`); a cached snapshot was warmed
+        // under the *full* plan, so probes must rebuild from scratch or
+        // the truncation would not govern the warm prefix.
+        let mut m = if self.fork && !hypervisor::crash::scratch_mode() {
             let slot = self.slot(group);
             let warmed = slot.get_or_init(|| {
                 self.warm_machine(opts, scenario())

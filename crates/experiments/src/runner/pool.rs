@@ -38,11 +38,14 @@
 //! priority semaphore gives the same schedule envelope with no `unsafe`
 //! and no new dependencies.
 
-use super::cost::{BatchPlan, CostModel, CostRecorder};
+use super::cost::{self, BatchPlan, CostModel, CostRecorder};
 use std::cell::{Cell, RefCell};
 use std::collections::BinaryHeap;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// A queued admission request: highest estimated cost wins, ties go to
 /// the earlier arrival.
@@ -172,6 +175,155 @@ impl Drop for BudgetGuard<'_> {
 thread_local! {
     static ACTIVE: RefCell<Option<Arc<Budget>>> = const { RefCell::new(None) };
     static COSTS: RefCell<Option<Rc<CostContext>>> = const { RefCell::new(None) };
+    static SCOPE: RefCell<Option<Arc<Scope>>> = const { RefCell::new(None) };
+}
+
+/// Multiplier over a cell's estimated wall-clock when deriving its
+/// watchdog deadline: generous enough that honest variance (cold caches,
+/// host preemption, a debug build) never trips it, tight enough that a
+/// livelocked cell is cancelled within one order of magnitude of its
+/// budget.
+pub const WATCHDOG_COST_FACTOR: u32 = 8;
+
+/// One experiment run's crash-resilience context: where crash artifacts
+/// go, whether cells get wall-clock watchdogs, and (for `repro cell`
+/// replays) which single cell of the grid to execute.
+///
+/// Installed by the `repro` driver via [`with_scope`] around each
+/// experiment; [`run_cells`](super::run_cells) reads it to arm per-cell
+/// crash sessions. Library callers that never install a scope get the
+/// plain behavior: no artifacts, no watchdogs, every cell runs.
+#[derive(Debug)]
+pub struct Scope {
+    experiment: String,
+    artifacts_dir: PathBuf,
+    watchdog_floor: Option<Duration>,
+    filter: Option<(usize, usize)>,
+    cost_label: String,
+    model: Option<Arc<CostModel>>,
+    batches: AtomicUsize,
+    matched: AtomicBool,
+    failed: AtomicBool,
+}
+
+impl Scope {
+    /// A scope for `experiment` writing crash artifacts under `dir`.
+    /// Watchdogs are off and every cell runs until the builder methods
+    /// say otherwise.
+    pub fn new(experiment: &str, dir: &Path) -> Self {
+        Scope {
+            experiment: experiment.to_string(),
+            artifacts_dir: dir.to_path_buf(),
+            watchdog_floor: None,
+            filter: None,
+            cost_label: experiment.to_string(),
+            model: None,
+            batches: AtomicUsize::new(0),
+            matched: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    /// Arms per-cell watchdogs: each cell's deadline is
+    /// `max(floor, WATCHDOG_COST_FACTOR x its estimated wall-clock)`.
+    pub fn with_watchdog(mut self, floor: Duration) -> Self {
+        self.watchdog_floor = Some(floor);
+        self
+    }
+
+    /// Restricts execution to the single cell `batch:index`; every other
+    /// cell is reported as [`CellFailure::Skipped`](super::CellFailure).
+    pub fn with_filter(mut self, batch: usize, index: usize) -> Self {
+        self.filter = Some((batch, index));
+        self
+    }
+
+    /// Uses `model` (keyed under `cost_label`, which may carry `@quick` /
+    /// `@fork` suffixes) for watchdog deadline estimates.
+    pub fn with_cost_model(mut self, cost_label: &str, model: Arc<CostModel>) -> Self {
+        self.cost_label = cost_label.to_string();
+        self.model = Some(model);
+        self
+    }
+
+    /// The experiment id artifacts and replay commands name.
+    pub fn experiment(&self) -> &str {
+        &self.experiment
+    }
+
+    /// Directory crash artifacts are written into.
+    pub fn artifacts_dir(&self) -> &Path {
+        &self.artifacts_dir
+    }
+
+    /// The single-cell filter, if one is set.
+    pub fn filter(&self) -> Option<(usize, usize)> {
+        self.filter
+    }
+
+    /// Claims the next batch sequence number. Called once per
+    /// [`run_cells`](super::run_cells) invocation on the driver thread,
+    /// in program order — the same discipline as
+    /// [`CostContext::plan_batch`], so the two counters agree and cell
+    /// coordinates are stable across runs and job counts.
+    pub fn claim_batch(&self) -> usize {
+        self.batches.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The watchdog budget for cell `index` of an `n`-cell batch
+    /// `batch`, or `None` when watchdogs are off.
+    pub fn deadline_for(&self, batch: usize, index: usize, n: usize) -> Option<Duration> {
+        let floor = self.watchdog_floor?;
+        let est_ns = match &self.model {
+            Some(m) => m.estimate(&cost::cell_key(&self.cost_label, batch, index), n),
+            None => cost::heuristic_estimate(n),
+        };
+        Some(floor.max(Duration::from_nanos(
+            est_ns.saturating_mul(WATCHDOG_COST_FACTOR as u64),
+        )))
+    }
+
+    /// Marks that the filtered cell was reached (no-op without a filter).
+    pub fn note_matched(&self) {
+        self.matched.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the filtered cell was reached.
+    pub fn matched(&self) -> bool {
+        self.matched.load(Ordering::Relaxed)
+    }
+
+    /// Marks that some non-skipped cell under this scope failed.
+    pub fn note_failed(&self) {
+        self.failed.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether any non-skipped cell under this scope failed.
+    pub fn failed(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs `f` with `scope` installed as this thread's crash-resilience
+/// scope; batches started under it write crash artifacts, arm watchdogs,
+/// and honor the cell filter. The previous scope is restored afterwards,
+/// even if `f` unwinds.
+pub fn with_scope<R>(scope: &Arc<Scope>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<Scope>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            SCOPE.with(|slot| *slot.borrow_mut() = prev);
+        }
+    }
+    let prev = SCOPE.with(|slot| slot.borrow_mut().replace(scope.clone()));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The crash-resilience scope installed on the calling thread, if any.
+pub fn current_scope() -> Option<Arc<Scope>> {
+    SCOPE.with(|slot| slot.borrow().clone())
 }
 
 /// Runs `f` with `budget` installed as this thread's active budget:
@@ -464,6 +616,48 @@ mod tests {
         }));
         assert!(result.is_err());
         assert!(current_costs().is_none(), "TLS context leaked past unwind");
+    }
+
+    #[test]
+    fn scope_installs_restores_and_counts_batches() {
+        assert!(current_scope().is_none());
+        let scope = Arc::new(Scope::new("fig4", Path::new("crash")));
+        with_scope(&scope, || {
+            let active = current_scope().expect("scope installed");
+            assert!(Arc::ptr_eq(&active, &scope));
+            assert_eq!(active.claim_batch(), 0);
+            assert_eq!(active.claim_batch(), 1);
+        });
+        assert!(current_scope().is_none());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_scope(&scope, || panic!("driver failure"));
+        }));
+        assert!(result.is_err());
+        assert!(current_scope().is_none(), "TLS scope leaked past unwind");
+    }
+
+    #[test]
+    fn scope_deadlines_respect_floor_and_estimates() {
+        let off = Scope::new("fig4", Path::new("crash"));
+        assert_eq!(off.deadline_for(0, 0, 4), None, "watchdog defaults off");
+
+        let floor = Duration::from_secs(60);
+        let armed = Scope::new("fig4", Path::new("crash")).with_watchdog(floor);
+        // Heuristic estimate for a 4-cell batch is 2 s; 8x = 16 s < floor.
+        assert_eq!(armed.deadline_for(0, 0, 4), Some(floor));
+
+        let mut model = CostModel::default();
+        // A 20 s recorded cell: 8x EMA = 160 s dominates the floor.
+        model.absorb(&[(cost::cell_key("fig4@quick", 0, 1), 20_000_000_000)]);
+        let scoped = Scope::new("fig4", Path::new("crash"))
+            .with_watchdog(floor)
+            .with_cost_model("fig4@quick", Arc::new(model));
+        assert_eq!(scoped.deadline_for(0, 1, 4), Some(Duration::from_secs(160)));
+        assert_eq!(
+            scoped.deadline_for(0, 0, 4),
+            Some(floor),
+            "unrecorded cells fall back to the heuristic under the floor"
+        );
     }
 
     #[test]

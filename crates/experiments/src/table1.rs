@@ -11,7 +11,7 @@
 //! and the paper's flexible micro-sliced cores (static best + dynamic).
 
 use crate::runner::{
-    err_row, finish_time, run_cells, CellError, CellFailure, CellResult, Grid, PolicyKind,
+    fail_row, finish_time, run_cells, CellError, CellFailure, CellResult, Grid, PolicyKind,
     RunOptions,
 };
 use hypervisor::policy::SchedPolicy;
@@ -234,7 +234,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                 "ERR".to_string(),
                 format!("{} ms jitter", fmt_f64(r.iperf_jitter_ms)),
             ]),
-            (Err(_), _) => t.row(err_row(Scheme::ALL[si].label().to_string(), 3)),
+            (Err(e), _) => t.row(fail_row(Scheme::ALL[si].label().to_string(), 3, &e.failure)),
         }
     }
     vec![t]

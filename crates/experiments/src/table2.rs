@@ -5,7 +5,7 @@
 //! configurations. The reproduction target is the *shape*: co-run yields
 //! exceed solo yields by orders of magnitude.
 
-use crate::runner::{err_row, run_cells, run_window, CellError, PolicyKind, RunOptions};
+use crate::runner::{fail_row, run_cells, run_window, CellError, PolicyKind, RunOptions};
 use metrics::render::Table;
 use simcore::ids::VmId;
 use simcore::time::SimDuration;
@@ -103,7 +103,7 @@ pub fn run(opts: &RunOptions) -> Vec<Table> {
                     format!("{ratio:.0}x"),
                 ]);
             }
-            Err(_) => t.row(err_row(WORKLOADS[wi].name().to_string(), 3)),
+            Err(e) => t.row(fail_row(WORKLOADS[wi].name().to_string(), 3, &e.failure)),
         }
     }
     vec![t]

@@ -6,7 +6,7 @@
 //!   (SystemTap on `native_flush_tlb_others`).
 //! - **4c** — iPerf jitter and throughput, solo vs mixed co-run.
 
-use crate::runner::{err_row, run_cells, run_window, CellError, PolicyKind, RunOptions};
+use crate::runner::{fail_row, run_cells, run_window, CellError, PolicyKind, RunOptions};
 use guest::kernel::LockKind;
 use metrics::render::{fmt_f64, Table};
 use simcore::ids::VmId;
@@ -79,7 +79,7 @@ pub fn run_4a(opts: &RunOptions) -> Vec<Table> {
                 ]);
             }
         }
-        Err(e) => t.row(err_row(e.label.clone(), 2)),
+        Err(e) => t.row(fail_row(e.label.clone(), 2, &e.failure)),
     }
     vec![t]
 }
@@ -149,8 +149,8 @@ pub fn run_4b(opts: &RunOptions) -> Vec<Table> {
                 fmt_f64(min),
                 fmt_f64(max),
             ]),
-            Err(_) => {
-                let mut row = err_row(TABLE4B_GRID[i / 2].name().to_string(), 4);
+            Err(e) => {
+                let mut row = fail_row(TABLE4B_GRID[i / 2].name().to_string(), 4, &e.failure);
                 row[1] = table4b_config(i).to_string();
                 t.row(row);
             }
@@ -203,7 +203,7 @@ pub fn run_4c(opts: &RunOptions) -> Vec<Table> {
             Ok((label, jitter, tput)) => {
                 t.row(vec![label.to_string(), fmt_f64(jitter), fmt_f64(tput)])
             }
-            Err(_) => t.row(err_row(table4c_config(i).to_string(), 2)),
+            Err(e) => t.row(fail_row(table4c_config(i).to_string(), 2, &e.failure)),
         }
     }
     vec![t]

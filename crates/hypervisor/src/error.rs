@@ -50,6 +50,14 @@ pub enum SimError {
         /// The violated invariant.
         what: String,
     },
+    /// The cell's cooperative wall-clock watchdog deadline expired (see
+    /// [`simcore::watchdog`]): the simulation was still handling events
+    /// past its budget — a livelock, runaway event storm, or a grossly
+    /// underestimated cell. The run is cancelled, not wedged.
+    Watchdog {
+        /// Simulated time when the deadline check tripped.
+        at: SimTime,
+    },
 }
 
 impl SimError {
@@ -59,7 +67,8 @@ impl SimError {
             SimError::StepGuard { at, .. }
             | SimError::SegmentGuard { at, .. }
             | SimError::SchedCorruption { at, .. }
-            | SimError::Invariant { at, .. } => *at,
+            | SimError::Invariant { at, .. }
+            | SimError::Watchdog { at } => *at,
         }
     }
 }
@@ -82,6 +91,11 @@ impl core::fmt::Display for SimError {
             SimError::Invariant { at, what } => {
                 write!(f, "[{at}] invariant violated: {what}")
             }
+            SimError::Watchdog { at } => write!(
+                f,
+                "[{at}] watchdog deadline expired; the cell was cancelled \
+                 while still handling events"
+            ),
         }
     }
 }

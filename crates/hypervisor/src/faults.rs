@@ -36,9 +36,26 @@ pub const KIND_SPURIOUS_KICK: u8 = 1 << 2;
 pub const KIND_STOLEN_TIME: u8 = 1 << 3;
 /// Bit flag for [`FaultKind::ZeroBurst`] in [`FaultSpec::kinds`].
 pub const KIND_ZERO_BURST: u8 = 1 << 4;
-/// All fault kinds enabled.
-pub const KIND_ALL: u8 =
-    KIND_IPI_DELAY | KIND_DROP_KICKS | KIND_SPURIOUS_KICK | KIND_STOLEN_TIME | KIND_ZERO_BURST;
+/// Bit flag for [`FaultKind::TimerJitter`] in [`FaultSpec::kinds`].
+pub const KIND_TIMER_JITTER: u8 = 1 << 5;
+/// Bit flag for [`FaultKind::CreditSkew`] in [`FaultSpec::kinds`].
+pub const KIND_CREDIT_SKEW: u8 = 1 << 6;
+/// Bit flag for [`FaultKind::CreditSabotage`] in [`FaultSpec::kinds`].
+///
+/// Deliberately **excluded** from [`KIND_ALL`]: sabotage plants an
+/// out-of-range credit value that the post-fault invariant sweep is
+/// guaranteed to catch, poisoning the machine. It exists to exercise the
+/// crash-artifact pipeline end to end (`kinds=sabotage`), not to model a
+/// survivable anomaly.
+pub const KIND_SABOTAGE: u8 = 1 << 7;
+/// All *survivable* fault kinds enabled ([`KIND_SABOTAGE`] excluded).
+pub const KIND_ALL: u8 = KIND_IPI_DELAY
+    | KIND_DROP_KICKS
+    | KIND_SPURIOUS_KICK
+    | KIND_STOLEN_TIME
+    | KIND_ZERO_BURST
+    | KIND_TIMER_JITTER
+    | KIND_CREDIT_SKEW;
 
 /// Ceiling on injected zero-time segments per task, kept well below the
 /// machine's step guard (100 000) so injection can never fake a broken
@@ -86,6 +103,31 @@ pub enum FaultKind {
         /// Number of zero-time segments.
         count: u32,
     },
+    /// Timer-coalescing jitter: the next scheduler tick is rescheduled
+    /// `delay` late, modelling a host that coalesced the tick interrupt
+    /// with other timer work. One-shot per entry; the tick cadence
+    /// self-corrects afterwards.
+    TimerJitter {
+        /// How late the next tick fires.
+        delay: SimDuration,
+    },
+    /// Credit-accounting skew: a vCPU's credit balance is nudged by
+    /// `skew`, clamped to the scheduler's legal `[-cap, cap]` range —
+    /// modelling lost or double-counted accounting ticks. Priorities may
+    /// flip; invariants must hold.
+    CreditSkew {
+        /// The afflicted vCPU.
+        vcpu: VcpuId,
+        /// Signed credit adjustment (clamped on application).
+        skew: i64,
+    },
+    /// Deliberate invariant sabotage: plants an out-of-range credit value
+    /// so the post-fault invariant sweep fails and poisons the machine.
+    /// See [`KIND_SABOTAGE`].
+    CreditSabotage {
+        /// The vCPU whose credits are driven out of range.
+        vcpu: VcpuId,
+    },
 }
 
 impl FaultKind {
@@ -97,6 +139,9 @@ impl FaultKind {
             FaultKind::SpuriousKick { .. } => "fault_spurious_kick",
             FaultKind::StolenTime { .. } => "fault_stolen_time",
             FaultKind::ZeroBurst { .. } => "fault_zero_burst",
+            FaultKind::TimerJitter { .. } => "fault_timer_jitter",
+            FaultKind::CreditSkew { .. } => "fault_credit_skew",
+            FaultKind::CreditSabotage { .. } => "fault_sabotage",
         }
     }
 }
@@ -128,6 +173,10 @@ pub struct FaultSpec {
     /// Time span over which the anomalies are spread, starting at 1 ms
     /// (so boot-time placement is never perturbed mid-construction).
     pub window: SimDuration,
+    /// Keep only the first `take` planned entries (after time-sorting);
+    /// `0` keeps the whole plan. This is the shrink/replay knob: a crash
+    /// artifact's minimal reproducer is the original spec plus `take=K`.
+    pub take: u32,
 }
 
 impl Default for FaultSpec {
@@ -137,67 +186,188 @@ impl Default for FaultSpec {
             count: 32,
             kinds: KIND_ALL,
             window: SimDuration::from_millis(2_000),
+            take: 0,
         }
     }
 }
 
+/// A malformed `--faults` spec: which token is wrong, where it sits in
+/// the input, and why it was rejected. Never panics, never silently
+/// defaults — the caller decides how to surface it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The offending token, verbatim.
+    pub token: String,
+    /// Byte span `[start, end)` of the token within the spec string.
+    pub span: (usize, usize),
+    /// What is wrong with the token.
+    pub reason: String,
+}
+
+impl core::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "bad fault spec at bytes {}..{}: {:?}: {}",
+            self.span.0, self.span.1, self.token, self.reason
+        )
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+impl FaultSpecError {
+    fn at(token: &str, start: usize, reason: impl Into<String>) -> Self {
+        FaultSpecError {
+            token: token.to_string(),
+            span: (start, start + token.len()),
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Trims `s`, returning the trimmed slice and its byte offset from the
+/// start of the untrimmed input.
+fn trimmed(s: &str, base: usize) -> (&str, usize) {
+    let lead = s.len() - s.trim_start().len();
+    (s.trim(), base + lead)
+}
+
+/// The canonical names of the single-bit fault kinds, in bit order.
+const KIND_NAMES: [(u8, &str); 8] = [
+    (KIND_IPI_DELAY, "ipi"),
+    (KIND_DROP_KICKS, "drop"),
+    (KIND_SPURIOUS_KICK, "kick"),
+    (KIND_STOLEN_TIME, "steal"),
+    (KIND_ZERO_BURST, "burst"),
+    (KIND_TIMER_JITTER, "jitter"),
+    (KIND_CREDIT_SKEW, "skew"),
+    (KIND_SABOTAGE, "sabotage"),
+];
+
 impl FaultSpec {
     /// Parses a `--faults` argument: comma-separated `key=value` pairs.
     ///
-    /// Keys: `count=N`, `seed=S`, `window_ms=M`, and
-    /// `kinds=ipi|drop|kick|steal|burst|all` (pipe-separated). Unset keys
-    /// keep their defaults; the empty string is the default spec.
-    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+    /// Keys: `count=N`, `seed=S`, `window_ms=M`, `take=K`, and
+    /// `kinds=ipi|drop|kick|steal|burst|jitter|skew|sabotage|all`
+    /// (pipe-separated; `all` is every kind except `sabotage`). Unset
+    /// keys keep their defaults; the empty string is the default spec.
+    /// Malformed input yields a typed [`FaultSpecError`] naming the
+    /// offending token and its byte span.
+    pub fn parse(s: &str) -> Result<FaultSpec, FaultSpecError> {
         let mut spec = FaultSpec::default();
-        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| format!("fault spec item {part:?} is not key=value"))?;
-            match key.trim() {
+        let mut offset = 0usize;
+        for raw in s.split(',') {
+            let part_start = offset;
+            offset += raw.len() + 1; // The split consumed one comma.
+            let (part, part_at) = trimmed(raw, part_start);
+            if part.is_empty() {
+                continue;
+            }
+            let Some(eq) = part.find('=') else {
+                return Err(FaultSpecError::at(part, part_at, "expected key=value"));
+            };
+            let (key, key_at) = trimmed(&part[..eq], part_at);
+            let (value, value_at) = trimmed(&part[eq + 1..], part_at + eq + 1);
+            match key {
                 "count" => {
-                    spec.count = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| format!("bad fault count {value:?}"))?;
+                    spec.count = value.parse().map_err(|_| {
+                        FaultSpecError::at(value, value_at, "count must be an unsigned integer")
+                    })?;
                 }
                 "seed" => {
-                    spec.seed = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| format!("bad fault seed {value:?}"))?;
+                    spec.seed = value.parse().map_err(|_| {
+                        FaultSpecError::at(value, value_at, "seed must be an unsigned integer")
+                    })?;
+                }
+                "take" => {
+                    spec.take = value.parse().map_err(|_| {
+                        FaultSpecError::at(value, value_at, "take must be an unsigned integer")
+                    })?;
                 }
                 "window_ms" => {
-                    let ms: u64 = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| format!("bad fault window {value:?}"))?;
+                    let ms: u64 = value.parse().map_err(|_| {
+                        FaultSpecError::at(value, value_at, "window_ms must be an unsigned integer")
+                    })?;
                     if ms == 0 {
-                        return Err("fault window must be positive".into());
+                        return Err(FaultSpecError::at(
+                            value,
+                            value_at,
+                            "window_ms must be positive",
+                        ));
                     }
                     spec.window = SimDuration::from_millis(ms);
                 }
                 "kinds" => {
                     let mut kinds = 0u8;
-                    for name in value.split('|') {
-                        kinds |= match name.trim() {
-                            "ipi" => KIND_IPI_DELAY,
-                            "drop" => KIND_DROP_KICKS,
-                            "kick" => KIND_SPURIOUS_KICK,
-                            "steal" => KIND_STOLEN_TIME,
-                            "burst" => KIND_ZERO_BURST,
-                            "all" => KIND_ALL,
-                            other => return Err(format!("unknown fault kind {other:?}")),
-                        };
+                    let mut name_offset = value_at;
+                    for raw_name in value.split('|') {
+                        let (name, name_at) = trimmed(raw_name, name_offset);
+                        name_offset += raw_name.len() + 1;
+                        if name == "all" {
+                            kinds |= KIND_ALL;
+                            continue;
+                        }
+                        match KIND_NAMES.iter().find(|(_, n)| *n == name) {
+                            Some((bit, _)) => kinds |= bit,
+                            None => {
+                                return Err(FaultSpecError::at(
+                                    name,
+                                    name_at,
+                                    "unknown fault kind (expected \
+                                     ipi|drop|kick|steal|burst|jitter|skew|sabotage|all)",
+                                ));
+                            }
+                        }
                     }
                     if kinds == 0 {
-                        return Err("fault spec enables no kinds".into());
+                        return Err(FaultSpecError::at(value, value_at, "enables no kinds"));
                     }
                     spec.kinds = kinds;
                 }
-                other => return Err(format!("unknown fault spec key {other:?}")),
+                _ => {
+                    return Err(FaultSpecError::at(
+                        key,
+                        key_at,
+                        "unknown key (expected count, seed, window_ms, take, or kinds)",
+                    ));
+                }
             }
         }
         Ok(spec)
+    }
+}
+
+impl core::fmt::Display for FaultSpec {
+    /// Renders the spec in its own parse syntax, so
+    /// `FaultSpec::parse(&spec.to_string())` round-trips. This is the
+    /// form crash artifacts embed in replay commands.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "count={},seed={},window_ms={}",
+            self.count,
+            self.seed,
+            self.window.as_nanos() / 1_000_000
+        )?;
+        let mut names = Vec::new();
+        let mut rest = self.kinds;
+        if rest & KIND_ALL == KIND_ALL {
+            names.push("all");
+            rest &= !KIND_ALL;
+        }
+        for (bit, name) in KIND_NAMES {
+            if rest & bit != 0 {
+                names.push(name);
+            }
+        }
+        if !names.is_empty() {
+            write!(f, ",kinds={}", names.join("|"))?;
+        }
+        if self.take > 0 {
+            write!(f, ",take={}", self.take)?;
+        }
+        Ok(())
     }
 }
 
@@ -224,13 +394,7 @@ impl FaultPlan {
     ) -> FaultPlan {
         let mut rng = SimRng::new(spec.seed ^ machine_seed.rotate_left(17) ^ 0xFA01_7000_0000_0001);
         let mut enabled = Vec::new();
-        for kind in [
-            KIND_IPI_DELAY,
-            KIND_DROP_KICKS,
-            KIND_SPURIOUS_KICK,
-            KIND_STOLEN_TIME,
-            KIND_ZERO_BURST,
-        ] {
+        for (kind, _) in KIND_NAMES {
             if spec.kinds & kind != 0 {
                 enabled.push(kind);
             }
@@ -307,6 +471,40 @@ impl FaultPlan {
                         },
                     });
                 }
+                KIND_TIMER_JITTER => entries.push(FaultEntry {
+                    at,
+                    kind: FaultKind::TimerJitter {
+                        // Well under the 10 ms tick, so the cadence skews
+                        // rather than skips.
+                        delay: rng.uniform_duration(
+                            SimDuration::from_micros(10),
+                            SimDuration::from_micros(500),
+                        ),
+                    },
+                }),
+                KIND_CREDIT_SKEW => {
+                    // Abstract credit units; the application clamps to
+                    // the scheduler's legal range whatever the config.
+                    let magnitude = 1 + rng.below(150) as i64;
+                    let skew = if rng.chance(0.5) {
+                        magnitude
+                    } else {
+                        -magnitude
+                    };
+                    entries.push(FaultEntry {
+                        at,
+                        kind: FaultKind::CreditSkew {
+                            vcpu: pick_vcpu(&mut rng),
+                            skew,
+                        },
+                    });
+                }
+                KIND_SABOTAGE => entries.push(FaultEntry {
+                    at,
+                    kind: FaultKind::CreditSabotage {
+                        vcpu: pick_vcpu(&mut rng),
+                    },
+                }),
                 _ => unreachable!("enabled holds single-bit kinds only"),
             }
         }
@@ -324,22 +522,35 @@ pub(crate) struct FaultState {
     pub(crate) ipi_extra: SimDuration,
     /// Kick deliveries still to swallow.
     pub(crate) drop_kicks: u32,
+    /// One-shot delay applied to the next tick reschedule (timer
+    /// coalescing jitter).
+    pub(crate) tick_jitter: SimDuration,
 }
 
 impl Machine {
     /// Installs a fault plan derived from `spec`: schedules one
     /// `Event::Fault` per planned entry. Call at most once, right after
     /// construction (before any `run_until_*`).
+    ///
+    /// [`FaultSpec::take`] (or, under an armed shrink probe, the
+    /// [`crate::crash::with_fault_take`] override) truncates the
+    /// time-sorted plan to its first K entries — the mechanism crash
+    /// artifacts use to bisect a failing plan to a minimal reproducer.
     pub fn install_faults(&mut self, spec: &FaultSpec) {
         let vcpus_per_vm: Vec<u16> = self.vcpus.iter().map(|v| v.len() as u16).collect();
         let tasks_per_vm: Vec<u32> = self.vms.iter().map(|vm| vm.tasks.len() as u32).collect();
-        let plan = FaultPlan::generate(
+        let mut plan = FaultPlan::generate(
             spec,
             self.cfg.seed,
             self.cfg.num_pcpus,
             &vcpus_per_vm,
             &tasks_per_vm,
         );
+        crate::crash::publish_plan_len(plan.entries.len() as u32);
+        let take = crate::crash::fault_take().unwrap_or(spec.take);
+        if take > 0 && (take as usize) < plan.entries.len() {
+            plan.entries.truncate(take as usize);
+        }
         if plan.entries.is_empty() {
             // An empty plan must leave the machine byte-identical to one
             // that never had faults installed — including its counters.
@@ -390,6 +601,20 @@ impl Machine {
                     t.pending_burst = t.pending_burst.saturating_add(count).min(MAX_PENDING_BURST);
                 }
             }
+            FaultKind::TimerJitter { delay } => {
+                self.faults.tick_jitter = delay;
+            }
+            FaultKind::CreditSkew { vcpu, skew } => {
+                let cap = self.cfg.credit_cap;
+                let vc = self.vcpu_mut(vcpu);
+                vc.credits = (vc.credits + skew).clamp(-cap, cap);
+            }
+            FaultKind::CreditSabotage { vcpu } => {
+                // Out-of-range on purpose: the invariant sweep below is
+                // guaranteed to fail and poison the machine.
+                let cap = self.cfg.credit_cap;
+                self.vcpu_mut(vcpu).credits = cap.saturating_mul(2).saturating_add(1);
+            }
         }
         self.stats.counters.incr("invariant_checks");
         if let Err(e) = self.check_invariants() {
@@ -405,16 +630,87 @@ mod tests {
     #[test]
     fn spec_parses_and_rejects() {
         assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::default());
-        let s = FaultSpec::parse("count=7,seed=99,window_ms=500,kinds=ipi|steal").unwrap();
+        let s = FaultSpec::parse("count=7,seed=99,window_ms=500,kinds=ipi|steal,take=3").unwrap();
         assert_eq!(s.count, 7);
         assert_eq!(s.seed, 99);
         assert_eq!(s.window, SimDuration::from_millis(500));
         assert_eq!(s.kinds, KIND_IPI_DELAY | KIND_STOLEN_TIME);
-        assert!(FaultSpec::parse("count=x").is_err());
-        assert!(FaultSpec::parse("bogus=1").is_err());
-        assert!(FaultSpec::parse("kinds=warp").is_err());
-        assert!(FaultSpec::parse("window_ms=0").is_err());
-        assert!(FaultSpec::parse("count").is_err());
+        assert_eq!(s.take, 3);
+        let s = FaultSpec::parse("kinds=jitter|skew|sabotage").unwrap();
+        assert_eq!(
+            s.kinds,
+            KIND_TIMER_JITTER | KIND_CREDIT_SKEW | KIND_SABOTAGE
+        );
+        let s = FaultSpec::parse("kinds=all").unwrap();
+        assert_eq!(s.kinds, KIND_ALL);
+        assert_eq!(s.kinds & KIND_SABOTAGE, 0, "all must exclude sabotage");
+    }
+
+    /// The satellite table: every malformed spec yields a typed error
+    /// naming the offending token and its byte span — no panic, no
+    /// silent default.
+    #[test]
+    fn bad_specs_report_token_and_span() {
+        // (input, expected offending token, expected span start).
+        let table: &[(&str, &str, usize)] = &[
+            ("count", "count", 0),
+            ("count=x", "x", 6),
+            ("count=-1", "-1", 6),
+            ("seed=1.5", "1.5", 5),
+            ("take=no", "no", 5),
+            ("bogus=1", "bogus", 0),
+            ("count=3,bogus=1", "bogus", 8),
+            ("window_ms=0", "0", 10),
+            ("window_ms=ten", "ten", 10),
+            ("kinds=warp", "warp", 6),
+            ("kinds=ipi|warp", "warp", 10),
+            ("count=3, kinds=ipi|, seed=1", "", 19),
+            ("count=3,,count=", "", 15),
+            ("=5", "", 0),
+        ];
+        for (input, token, start) in table {
+            let e = FaultSpec::parse(input).expect_err(&format!("spec {input:?} must be rejected"));
+            assert_eq!(&e.token, token, "token for {input:?}: {e}");
+            assert_eq!(e.span.0, *start, "span start for {input:?}: {e}");
+            assert_eq!(e.span.1, start + token.len(), "span end for {input:?}");
+            assert!(
+                e.to_string().contains(&format!("{token:?}")),
+                "display must quote the token: {e}"
+            );
+        }
+    }
+
+    /// Crash artifacts embed `spec.to_string()` in replay commands, so
+    /// the rendering must round-trip through the parser.
+    #[test]
+    fn display_round_trips_through_parse() {
+        let specs = [
+            FaultSpec::default(),
+            FaultSpec {
+                seed: 12345,
+                count: 7,
+                kinds: KIND_TIMER_JITTER | KIND_CREDIT_SKEW,
+                window: SimDuration::from_millis(750),
+                take: 9,
+            },
+            FaultSpec {
+                kinds: KIND_ALL | KIND_SABOTAGE,
+                ..FaultSpec::default()
+            },
+            FaultSpec {
+                kinds: KIND_SABOTAGE,
+                take: 1,
+                ..FaultSpec::default()
+            },
+        ];
+        for spec in specs {
+            let rendered = spec.to_string();
+            assert_eq!(
+                FaultSpec::parse(&rendered).unwrap(),
+                spec,
+                "round-trip failed for {rendered:?}"
+            );
+        }
     }
 
     #[test]

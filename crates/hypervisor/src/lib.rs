@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod crash;
 pub mod error;
 pub mod faults;
 pub mod machine;
@@ -35,8 +36,9 @@ pub mod vcpu;
 pub mod vm;
 
 pub use config::MachineConfig;
+pub use crash::FlightRecorder;
 pub use error::SimError;
-pub use faults::{FaultKind, FaultPlan, FaultSpec};
+pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultSpecError};
 pub use machine::{Machine, Snapshot, TraceEvent};
 pub use policy::{BaselinePolicy, SchedPolicy, YieldCause};
 pub use pool::PoolId;

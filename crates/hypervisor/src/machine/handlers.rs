@@ -98,7 +98,10 @@ impl Machine {
                 }
             }
         }
-        let next = self.now + self.cfg.tick;
+        // A pending timer-coalescing fault delays exactly one tick; the
+        // cadence recovers on the next one (see `FaultKind::TimerJitter`).
+        let jitter = core::mem::take(&mut self.faults.tick_jitter);
+        let next = self.now + self.cfg.tick + jitter;
         self.push_event(next, Event::Tick);
         if self.cfg.paranoid {
             self.stats.counters.incr("invariant_checks");

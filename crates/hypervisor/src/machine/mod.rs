@@ -17,6 +17,7 @@ mod step;
 pub use snapshot::Snapshot;
 
 use crate::config::MachineConfig;
+use crate::crash::FlightRecorder;
 use crate::error::SimError;
 use crate::faults::FaultState;
 use crate::pcpu::Pcpu;
@@ -172,6 +173,9 @@ pub struct Machine {
     pub(crate) fatal: Option<SimError>,
     /// Fault-injection state (empty plan by default).
     pub(crate) faults: FaultState,
+    /// Flight recorder: disarmed unless constructed inside a
+    /// [`crate::crash::with_session`] scope.
+    pub(crate) flight: FlightRecorder,
 }
 
 impl Machine {
@@ -218,6 +222,11 @@ impl Machine {
             trace: TraceBuffer::disabled(),
             fatal: None,
             faults: FaultState::default(),
+            flight: if crate::crash::session_armed() {
+                FlightRecorder::armed(crate::crash::DEFAULT_RING)
+            } else {
+                FlightRecorder::disarmed()
+            },
         };
         machine.boot();
         machine
@@ -287,10 +296,15 @@ impl Machine {
     }
 
     /// Records a fatal error. The first error wins; later ones are
-    /// counted but dropped (the machine is already poisoned).
+    /// counted but dropped (the machine is already poisoned). When a
+    /// crash session is armed on this thread, the first failure also
+    /// publishes a rendered crash report (see [`crate::crash`]).
     pub(crate) fn fail(&mut self, e: SimError) {
         self.stats.counters.incr("sim_errors");
         if self.fatal.is_none() {
+            if crate::crash::session_armed() {
+                crate::crash::publish_report(self.render_crash_report(&e));
+            }
             self.fatal = Some(e);
         }
     }
@@ -316,10 +330,16 @@ impl Machine {
     /// poisoned: every later `run_until_*` returns the same error.
     pub fn run_until(&mut self, deadline: SimTime) -> Result<(), SimError> {
         self.poisoned()?;
+        let mut pace: u32 = 0;
         while let Some((t, event)) = self.queue.pop_at_or_before(deadline) {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
+            self.flight.record(t, event);
             self.handle(event);
+            pace = pace.wrapping_add(1);
+            if pace & 1023 == 0 && simcore::watchdog::expired() {
+                self.fail(SimError::Watchdog { at: self.now });
+            }
             self.poisoned()?;
         }
         if self.now < deadline {
@@ -337,12 +357,18 @@ impl Machine {
         horizon: SimTime,
     ) -> Result<Option<SimTime>, SimError> {
         self.poisoned()?;
+        let mut pace: u32 = 0;
         while self.vms[vm.0 as usize].finished_at.is_none() {
             let Some((t, event)) = self.queue.pop_at_or_before(horizon) else {
                 break;
             };
             self.now = t;
+            self.flight.record(t, event);
             self.handle(event);
+            pace = pace.wrapping_add(1);
+            if pace & 1023 == 0 && simcore::watchdog::expired() {
+                self.fail(SimError::Watchdog { at: self.now });
+            }
             self.poisoned()?;
         }
         self.settle();
@@ -359,12 +385,18 @@ impl Machine {
                 .filter(|vm| !vm.tasks.is_empty())
                 .all(|vm| vm.finished_at.is_some())
         };
+        let mut pace: u32 = 0;
         while !all_done(self) {
             let Some((t, event)) = self.queue.pop_at_or_before(horizon) else {
                 break;
             };
             self.now = t;
+            self.flight.record(t, event);
             self.handle(event);
+            pace = pace.wrapping_add(1);
+            if pace & 1023 == 0 && simcore::watchdog::expired() {
+                self.fail(SimError::Watchdog { at: self.now });
+            }
             self.poisoned()?;
         }
         self.settle();

@@ -3,7 +3,7 @@
 //! panic, never lose work, and always keep its accounting consistent.
 
 use guest::segment::{Program, Segment};
-use hypervisor::{BaselinePolicy, Machine, MachineConfig, VmSpec};
+use hypervisor::{BaselinePolicy, FaultSpec, Machine, MachineConfig, VmSpec};
 use proptest::prelude::*;
 use simcore::ids::VmId;
 use simcore::rng::SimRng;
@@ -186,6 +186,79 @@ proptest! {
             fingerprint(&fork),
             fingerprint(&twin),
             "the fork diverged from an unforked twin"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, // Poisoning happens within ~100 ms of simulated time.
+        ..ProptestConfig::default()
+    })]
+
+    /// `SimError` poisoning is sticky: once a sabotage fault trips the
+    /// invariant sweep, every later `run_until_*` variant returns the
+    /// *same* error without simulating anything — time stays frozen and
+    /// `check_invariants` is never re-entered.
+    #[test]
+    fn poisoning_is_sticky_across_all_run_variants(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        let mk = |n: u16| -> VmSpec {
+            VmSpec::new("fuzz", n).task_per_vcpu(move |_| {
+                Box::new(FuzzProgram {
+                    kernel_weight: 0.2,
+                    lock_weight: 0.2,
+                    tlb_weight: 0.1,
+                    num_vcpus: n,
+                })
+            })
+        };
+        let cfg = MachineConfig::small(4).with_seed(seed);
+        let mut m = Machine::new(cfg, vec![mk(2), mk(2)], Box::new(BaselinePolicy));
+        // Sabotage plants out-of-range credits and the post-fault sweep
+        // catches them, so the first planned entry (inside [1ms, 101ms])
+        // is guaranteed to poison the machine.
+        m.install_faults(&FaultSpec {
+            seed: fault_seed,
+            count: 4,
+            kinds: hypervisor::faults::KIND_SABOTAGE,
+            window: SimDuration::from_millis(100),
+            take: 0,
+        });
+        let horizon = SimTime::ZERO + SimDuration::from_millis(300);
+        let first = m
+            .run_until(horizon)
+            .expect_err("sabotage must poison the machine")
+            .to_string();
+        prop_assert_eq!(m.error().map(|e| e.to_string()), Some(first.clone()));
+
+        let frozen_now = m.now();
+        let frozen_checks = m.stats.counters.get("invariant_checks");
+        let frozen_errors = m.stats.counters.get("sim_errors");
+        let later = horizon + SimDuration::from_millis(200);
+        let again = m.run_until(later).expect_err("poisoning must stick");
+        prop_assert_eq!(again.to_string(), first.clone());
+        let vm = m
+            .run_until_vm_finished(VmId(0), later)
+            .expect_err("poisoning must stick for run_until_vm_finished");
+        prop_assert_eq!(vm.to_string(), first.clone());
+        let all = m
+            .run_until_all_finished(later)
+            .expect_err("poisoning must stick for run_until_all_finished");
+        prop_assert_eq!(all.to_string(), first);
+
+        prop_assert_eq!(m.now(), frozen_now, "a poisoned machine advanced time");
+        prop_assert_eq!(
+            m.stats.counters.get("invariant_checks"),
+            frozen_checks,
+            "check_invariants re-entered after poisoning"
+        );
+        prop_assert_eq!(
+            m.stats.counters.get("sim_errors"),
+            frozen_errors,
+            "sim_errors moved: fail() re-entered after poisoning"
         );
     }
 }

@@ -36,6 +36,7 @@ pub mod ids;
 pub mod rng;
 pub mod time;
 pub mod trace;
+pub mod watchdog;
 
 pub use event::{EventKey, EventQueue};
 pub use ids::{LockId, PcpuId, TaskId, VcpuId, VmId};

@@ -61,6 +61,16 @@ impl SimRng {
         SimRng::new(mix)
     }
 
+    /// The raw xoshiro256++ state words.
+    ///
+    /// Diagnostic only — crash reports embed the stream position so a
+    /// failure can be cross-checked against its replay. The state fully
+    /// determines every future draw; it is not a secret and not an API
+    /// for reseeding (use [`SimRng::new`] / [`SimRng::fork`]).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// The next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

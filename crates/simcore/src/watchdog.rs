@@ -1,0 +1,110 @@
+//! Cooperative per-thread wall-clock deadlines for simulation loops.
+//!
+//! Long suite runs need hang detection: a livelocked cell (a policy that
+//! re-queues the same event forever, a fault plan that starves progress)
+//! would otherwise wedge the whole run. This module holds a *thread-local*
+//! wall-clock deadline that simulation loops poll cooperatively — the
+//! runner arms it around one grid cell, the machine's event loop checks it
+//! every few thousand events, and a blown deadline surfaces as an ordinary
+//! typed simulation error instead of a stuck process.
+//!
+//! The deadline is wall-clock, so it can never influence *simulated*
+//! behaviour below the deadline: a cell either completes with exactly the
+//! bytes it always produces, or is cancelled and reported. With no
+//! deadline armed (the default, and the only state unit tests and
+//! benchmarks ever see) the poll is a thread-local read of a `None` —
+//! [`Instant::now`] is never consulted.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Arms (or, with `None`, disarms) the calling thread's deadline.
+///
+/// Returns the previously armed deadline so callers can nest scopes.
+pub fn set(deadline: Option<Instant>) -> Option<Instant> {
+    DEADLINE.with(|slot| slot.replace(deadline))
+}
+
+/// The calling thread's armed deadline, if any.
+pub fn get() -> Option<Instant> {
+    DEADLINE.with(|slot| slot.get())
+}
+
+/// True if a deadline is armed on this thread and has passed.
+///
+/// Cheap when disarmed: one thread-local read, no clock access.
+#[inline]
+pub fn expired() -> bool {
+    DEADLINE.with(|slot| match slot.get() {
+        Some(deadline) => Instant::now() >= deadline,
+        None => false,
+    })
+}
+
+/// Runs `f` with `deadline` armed on this thread, restoring the previous
+/// deadline afterwards — including on unwind, so a panicking cell cannot
+/// leak its deadline into the next cell scheduled on the same worker.
+pub fn with_deadline<R>(deadline: Instant, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Instant>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set(self.0.take());
+        }
+    }
+    let _restore = Restore(set(Some(deadline)));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disarmed_never_expires() {
+        assert!(get().is_none());
+        assert!(!expired());
+    }
+
+    #[test]
+    fn with_deadline_arms_and_restores() {
+        let far = Instant::now() + Duration::from_secs(3600);
+        with_deadline(far, || {
+            assert_eq!(get(), Some(far));
+            assert!(!expired());
+        });
+        assert!(get().is_none());
+    }
+
+    #[test]
+    fn past_deadline_expires() {
+        let past = Instant::now() - Duration::from_millis(1);
+        with_deadline(past, || assert!(expired()));
+    }
+
+    #[test]
+    fn nested_scopes_restore_outer_deadline() {
+        let outer = Instant::now() + Duration::from_secs(100);
+        let inner = Instant::now() + Duration::from_secs(200);
+        with_deadline(outer, || {
+            with_deadline(inner, || assert_eq!(get(), Some(inner)));
+            assert_eq!(get(), Some(outer));
+        });
+        assert!(get().is_none());
+    }
+
+    #[test]
+    fn restores_on_unwind() {
+        let result = std::panic::catch_unwind(|| {
+            with_deadline(Instant::now() + Duration::from_secs(5), || {
+                panic!("cell failure")
+            })
+        });
+        assert!(result.is_err());
+        assert!(get().is_none(), "deadline leaked past unwind");
+    }
+}

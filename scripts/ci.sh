@@ -54,6 +54,30 @@ cmp "$ci_out/off.txt" "$ci_out/scratch.txt" || {
     echo "forked cells changed repro output vs --no-fork" >&2
     exit 1
 }
+
+echo "== kill -9 and --resume byte-identity ==" >&2
+# A suite SIGKILL'd mid-run leaves a partial ledger; restarting the same
+# command with --resume must replay the committed prefix and produce
+# stdout byte-identical to the uninterrupted run above. Wherever the kill
+# lands — before, between, or mid-commit (a torn tail) — the contract is
+# the same.
+ci_ledger="$(mktemp -u)"
+target/release/repro --quick --jobs 2 --costs off \
+    --resume --ledger "$ci_ledger" all > "$ci_out/killed.txt" 2>/dev/null &
+repro_pid=$!
+# The first experiment commits ~20 s in (commits stream in command-line
+# order), and the whole quick suite takes ~28 s at --jobs 2: a kill here
+# lands mid-suite with a partially committed ledger.
+sleep 22
+kill -9 "$repro_pid" 2>/dev/null || true
+wait "$repro_pid" 2>/dev/null || true
+target/release/repro --quick --jobs 2 --costs off \
+    --resume --ledger "$ci_ledger" all > "$ci_out/resumed.txt"
+cmp "$ci_out/off.txt" "$ci_out/resumed.txt" || {
+    echo "resumed suite stdout diverged from the clean run" >&2
+    exit 1
+}
+rm -f "$ci_ledger"
 rm -rf "$ci_costs" "$ci_out"
 
 echo "== fault-fuzz smoke (fixed seeds) ==" >&2
@@ -104,5 +128,55 @@ rm -f "$smoke_json"
 echo "== paranoid quick repro under injected faults ==" >&2
 cargo run --release -p experiments --bin repro -- --quick --paranoid \
     --faults count=24,window_ms=300 --keep-going fig9 table2 > /dev/null
+
+echo "== crash-replay soak (randomized seeds, ~30 s) ==" >&2
+# Hammer one cheap experiment with random seeds, alternating survivable
+# fault plans (kinds=all: no artifacts expected) and sabotage plans
+# (every cell crashes and dumps an artifact). Then execute every
+# artifact's embedded replay command and require it to reproduce the
+# recorded failure line — the suite must end with zero unreplayable
+# failures.
+soak_dir="$(mktemp -d)"
+soak_deadline=$(($(date +%s) + 30))
+soak_i=0
+while [ "$(date +%s)" -lt "$soak_deadline" ]; do
+    soak_i=$((soak_i + 1))
+    seed=$((RANDOM * 32768 + RANDOM))
+    if [ $((soak_i % 2)) -eq 0 ]; then kinds=all; else kinds=sabotage; fi
+    target/release/repro --quick --costs off --keep-going --seed "$seed" \
+        --faults "seed=$seed,count=24,window_ms=300,kinds=$kinds" \
+        --artifacts "$soak_dir/crash$soak_i" table2 >/dev/null 2>&1 || true
+done
+unreplayable=0
+replayed=0
+for artifact in "$soak_dir"/crash*/*.txt; do
+    [ -e "$artifact" ] || continue
+    recorded="$(sed -n 's/^failure: //p' "$artifact" | head -1)"
+    replay="$(sed -n 's/^replay: repro //p' "$artifact" | head -1)"
+    if [ -z "$replay" ]; then
+        echo "soak: $artifact has no replay command" >&2
+        unreplayable=$((unreplayable + 1))
+        continue
+    fi
+    rerun_dir="$(mktemp -d)"
+    eval "target/release/repro --costs off --artifacts '$rerun_dir' $replay" \
+        >/dev/null 2>&1 || true
+    fresh="$(cat "$rerun_dir"/*.txt 2>/dev/null | sed -n 's/^failure: //p' | head -1)"
+    if [ "$recorded" != "$fresh" ]; then
+        echo "soak: unreplayable failure in $artifact" >&2
+        echo "  recorded: $recorded" >&2
+        echo "  fresh:    ${fresh:-<no failure reproduced>}" >&2
+        unreplayable=$((unreplayable + 1))
+    else
+        replayed=$((replayed + 1))
+    fi
+    rm -rf "$rerun_dir"
+done
+if [ "$unreplayable" -ne 0 ]; then
+    echo "soak: $unreplayable unreplayable failures" >&2
+    exit 1
+fi
+echo "soak: $soak_i faulted runs, $replayed artifacts replayed identically" >&2
+rm -rf "$soak_dir"
 
 echo "CI OK" >&2

@@ -1,0 +1,228 @@
+//! Crash-resilience integration: a failing cell leaves a crash artifact
+//! whose shrunk replay command reproduces the identical failure, a hung
+//! cell is cancelled by its watchdog while the suite continues, and a
+//! `--resume` run re-emits byte-identical stdout.
+//!
+//! This is the robustness contract behind the flight recorder
+//! (`hypervisor::crash`), the runner's per-cell crash sessions
+//! (`experiments::runner`), and the run ledger
+//! (`experiments::runner::ledger`). `scripts/ci.sh` adds the process-
+//! level half: a real `kill -9` mid-suite and a randomized replay soak.
+
+use experiments::runner::cost::{self, CostModel};
+use experiments::runner::pool::{self, Scope};
+use experiments::runner::{build, fail_text, run_cells, CellFailure, PolicyKind, RunOptions};
+use hypervisor::faults::KIND_SABOTAGE;
+use hypervisor::{FaultSpec, MachineConfig, SimError, VmSpec};
+use simcore::time::{SimDuration, SimTime};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use workloads::{scenarios, Workload};
+
+/// The same small consolidated machine the fault fuzz uses: cheap under
+/// debug builds, still overcommitted enough to be busy.
+fn small_scenario() -> (MachineConfig, Vec<VmSpec>) {
+    let cfg = MachineConfig::small(4);
+    let specs = vec![
+        scenarios::vm_with_iters(Workload::Exim, 2, None),
+        scenarios::vm_with_iters(Workload::Swaptions, 2, None),
+    ];
+    (cfg, specs)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crashres_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// End to end over the artifact pipeline: a sabotage fault poisons the
+/// cell, the crash session captures a report, the shrinker bisects the
+/// plan, and the artifact's `--faults` spec — with its `take=` prefix —
+/// reproduces the byte-identical failure when re-run.
+#[test]
+fn sabotage_writes_an_artifact_whose_shrunk_spec_reproduces() {
+    let dir = temp_dir("artifact");
+    let spec = FaultSpec {
+        seed: 0xDEAD,
+        count: 8,
+        kinds: KIND_SABOTAGE,
+        window: SimDuration::from_millis(100),
+        take: 0,
+    };
+    let opts = RunOptions {
+        seed: 0xA11CE,
+        keep_going: true,
+        faults: Some(spec),
+        ..RunOptions::quick()
+    };
+    let run = |o: &RunOptions| -> Result<u32, CellFailure> {
+        let mut m = build(o, small_scenario(), PolicyKind::Baseline);
+        m.run_until(SimTime::from_millis(500))
+            .map_err(CellFailure::Sim)?;
+        Ok(0)
+    };
+    let scope = Arc::new(Scope::new("demo", &dir));
+    let grid = pool::with_scope(&scope, || {
+        run_cells(&opts, 1, |i| format!("demo[{i}]"), |_| run(&opts))
+    });
+    let e = grid[0].as_ref().expect_err("sabotage must fail the cell");
+
+    let artifact = e.artifact.as_ref().expect("a crash artifact is written");
+    let text = std::fs::read_to_string(artifact).expect("artifact readable");
+    assert!(text.starts_with("crash artifact v1"), "got: {text}");
+    for needle in [
+        "fault_plan:",
+        "flight_ring:",
+        "rng_state:",
+        "CreditSabotage",
+    ] {
+        assert!(text.contains(needle), "artifact lacks {needle:?}:\n{text}");
+    }
+
+    let replay = e.replay.as_ref().expect("a replay command is derived");
+    assert!(
+        replay.starts_with("repro cell demo --cell 0:0"),
+        "got: {replay}"
+    );
+    let quoted = replay
+        .split("--faults \"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("replay embeds a fault spec");
+    let shrunk = FaultSpec::parse(quoted).expect("embedded spec parses");
+    assert!(shrunk.take > 0, "shrink must find a minimal prefix");
+    assert!(
+        shrunk.take < spec.count,
+        "8 sabotage entries cannot all be needed"
+    );
+
+    // The acceptance criterion: replaying the artifact's shrunk spec
+    // reproduces the identical failure.
+    let replayed = run(&RunOptions {
+        faults: Some(shrunk),
+        ..opts
+    })
+    .expect_err("the shrunk spec must still fail");
+    assert_eq!(replayed.to_string(), e.failure.to_string());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A cell that blows its wall-clock deadline is cancelled cooperatively
+/// — surfaced as a `HUNG` row — and its neighbours complete normally.
+#[test]
+fn watchdog_cancels_a_hung_cell_and_the_suite_continues() {
+    let dir = temp_dir("watchdog");
+    // Record a 1 ns estimate for cell 0:0 only, so its deadline collapses
+    // to the 50 ms floor while the healthy cell keeps the generous
+    // heuristic deadline (8x a multi-second estimate).
+    let mut model = CostModel::default();
+    model.absorb(&[(cost::cell_key("wd", 0, 0), 1)]);
+    let scope = Arc::new(
+        Scope::new("wd", &dir)
+            .with_watchdog(Duration::from_millis(50))
+            .with_cost_model("wd", Arc::new(model)),
+    );
+    let opts = RunOptions {
+        keep_going: true,
+        ..RunOptions::quick()
+    };
+    let grid = pool::with_scope(&scope, || {
+        run_cells(
+            &opts,
+            2,
+            |i| format!("wd[{i}]"),
+            |i| {
+                let mut m = build(&opts, small_scenario(), PolicyKind::Baseline);
+                // Cell 0 asks for ~28 hours of simulated time: only the
+                // watchdog can end it. Cell 1 finishes on its own.
+                let horizon = if i == 0 {
+                    SimTime::from_secs(100_000)
+                } else {
+                    SimTime::from_millis(5)
+                };
+                m.run_until(horizon).map_err(CellFailure::Sim)?;
+                Ok(i)
+            },
+        )
+    });
+    let e = grid[0]
+        .as_ref()
+        .expect_err("the hung cell must be cancelled");
+    assert!(
+        matches!(e.failure, CellFailure::Sim(SimError::Watchdog { .. })),
+        "got: {}",
+        e.failure
+    );
+    assert_eq!(fail_text(&e.failure), "HUNG");
+    assert_eq!(*grid[1].as_ref().unwrap(), 1, "the suite must continue");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `--resume` contract on the real binary: a suite that committed
+/// only part of its work (as a killed run would) and is restarted with
+/// `--resume` produces stdout byte-identical to an uninterrupted run —
+/// including after a torn ledger tail from a mid-commit SIGKILL.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow under debug; run with cargo test --release"
+)]
+fn resume_reemits_byte_identical_stdout() {
+    let dir = temp_dir("resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ledger = dir.join("ledger.txt");
+    let artifacts = dir.join("crash");
+    let run = |extra: &[&str]| -> std::process::Output {
+        std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args([
+                "--quick",
+                "--costs",
+                "off",
+                "--watchdog",
+                "off",
+                "--artifacts",
+            ])
+            .arg(&artifacts)
+            .args(extra)
+            .output()
+            .expect("repro binary runs")
+    };
+    let ledger_args = ["--resume", "--ledger", ledger.to_str().unwrap()];
+
+    let clean = run(&["table2", "ablations"]);
+    assert!(clean.status.success());
+
+    // Emulate a suite killed after its first experiment: only table2
+    // reaches the ledger.
+    let partial = run(&[&ledger_args[..], &["table2"]].concat());
+    assert!(partial.status.success());
+
+    // The restart replays table2 from the ledger, computes ablations, and
+    // the combined stdout is byte-identical to the uninterrupted run.
+    let resumed = run(&[&ledger_args[..], &["table2", "ablations"]].concat());
+    assert!(resumed.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "resumed stdout diverged from the clean run"
+    );
+    assert!(
+        String::from_utf8_lossy(&resumed.stderr).contains("[table2 replayed from ledger]"),
+        "table2 was recomputed instead of replayed"
+    );
+
+    // A SIGKILL mid-append leaves a torn tail; the next resume must drop
+    // the torn record, recompute it, and still match byte-for-byte.
+    let bytes = std::fs::read(&ledger).unwrap();
+    std::fs::write(&ledger, &bytes[..bytes.len() - 7]).unwrap();
+    let healed = run(&[&ledger_args[..], &["table2", "ablations"]].concat());
+    assert!(healed.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&healed.stdout),
+        "stdout diverged after healing a torn ledger tail"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

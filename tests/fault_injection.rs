@@ -39,7 +39,11 @@ proptest! {
         machine_seed in any::<u64>(),
         fault_seed in any::<u64>(),
         count in 0u32..96,
-        kinds in 1u8..32,
+        // Every survivable kind combination, including the new
+        // timer-coalescing jitter (1 << 5) and credit-accounting skew
+        // (1 << 6). `sabotage` (1 << 7) is excluded by design: it exists
+        // to violate invariants (see `tests/crash_resilience.rs`).
+        kinds in 1u8..128,
         window_ms in 20u64..400,
     ) {
         let spec = FaultSpec {
@@ -47,6 +51,7 @@ proptest! {
             count,
             kinds,
             window: SimDuration::from_millis(window_ms),
+            take: 0,
         };
         let opts = RunOptions {
             quick: true,
