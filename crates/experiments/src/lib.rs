@@ -24,6 +24,8 @@
 //! wins, by what factor, where the crossovers fall) are the reproduction
 //! target; see `EXPERIMENTS.md`.
 
+#![warn(missing_docs)]
+
 pub mod ablations;
 pub mod compare;
 pub mod fig4;

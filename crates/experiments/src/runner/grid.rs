@@ -39,7 +39,7 @@ use super::{build_with, CellFailure, CellResult, RunOptions};
 use hypervisor::policy::SchedPolicy;
 use hypervisor::{BaselinePolicy, Machine, MachineConfig, Snapshot, VmSpec};
 use simcore::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 type SnapshotSlot = Arc<OnceLock<CellResult<Arc<Snapshot>>>>;
@@ -58,7 +58,7 @@ type SnapshotSlot = Arc<OnceLock<CellResult<Arc<Snapshot>>>>;
 pub struct Grid {
     warm_until: SimTime,
     fork: bool,
-    snapshots: Mutex<HashMap<u64, SnapshotSlot>>,
+    snapshots: Mutex<BTreeMap<u64, SnapshotSlot>>,
 }
 
 impl Grid {
@@ -70,7 +70,7 @@ impl Grid {
         Grid {
             warm_until: SimTime::ZERO + opts.warm(warm),
             fork: opts.fork,
-            snapshots: Mutex::new(HashMap::new()),
+            snapshots: Mutex::new(BTreeMap::new()),
         }
     }
 

@@ -7,7 +7,7 @@
 //! module tracks in-flight shootdowns and their acknowledgement sets.
 
 use simcore::time::SimTime;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifies an in-flight shootdown within one VM.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -29,7 +29,7 @@ pub struct Shootdown {
 /// All in-flight shootdowns of one VM.
 #[derive(Clone, Debug, Default)]
 pub struct ShootdownTable {
-    inflight: HashMap<ShootdownId, Shootdown>,
+    inflight: BTreeMap<ShootdownId, Shootdown>,
     next_id: u64,
     /// Completed shootdowns (for statistics).
     pub completed: u64,

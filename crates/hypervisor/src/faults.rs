@@ -392,6 +392,8 @@ impl FaultPlan {
         vcpus_per_vm: &[u16],
         tasks_per_vm: &[u32],
     ) -> FaultPlan {
+        // SIMLINT: the fault-stream split (PR 2) — decorrelated from the
+        // machine stream by construction so plans never perturb workloads.
         let mut rng = SimRng::new(spec.seed ^ machine_seed.rotate_left(17) ^ 0xFA01_7000_0000_0001);
         let mut enabled = Vec::new();
         for (kind, _) in KIND_NAMES {
@@ -505,6 +507,7 @@ impl FaultPlan {
                         vcpu: pick_vcpu(&mut rng),
                     },
                 }),
+                // PANIC-OK(`enabled` holds single-bit kinds only, by construction of the mask split)
                 _ => unreachable!("enabled holds single-bit kinds only"),
             }
         }

@@ -38,6 +38,7 @@ impl Machine {
         self.account_progress(vcpu);
         match stop {
             Stop::SliceEnd => {
+                // PANIC-OK(stale transitions returned above; the vCPU is still running here)
                 let pcpu = self.vcpu(vcpu).pcpu().expect("running");
                 let from_micro = self.vcpu(vcpu).pool == PoolId::Micro;
                 // Micro-pool slices always evict back to the normal pool

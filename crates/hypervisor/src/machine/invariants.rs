@@ -8,7 +8,7 @@ use super::Machine;
 use crate::error::SimError;
 use crate::vcpu::VState;
 use guest::activity::{Activity, KWork};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 impl Machine {
     /// Validates the cross-cutting invariants of the scheduler state:
@@ -29,7 +29,7 @@ impl Machine {
         let err = |what: String| SimError::Invariant { at: self.now, what };
 
         // pCPU side (invariants 1 and 2).
-        let mut seen = HashMap::new();
+        let mut seen = BTreeMap::new();
         for p in &self.pcpus {
             if let Some(v) = p.current {
                 let vc = self.vcpu(v);

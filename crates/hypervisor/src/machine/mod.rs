@@ -183,6 +183,8 @@ impl Machine {
     pub fn new(cfg: MachineConfig, specs: Vec<VmSpec>, policy: Box<dyn SchedPolicy>) -> Self {
         assert!(cfg.num_pcpus > 0, "need at least one pCPU");
         assert!(!specs.is_empty(), "need at least one VM");
+        // SIMLINT: the machine-stream root — the one sanctioned seeding
+        // site; every other generator forks from this stream.
         let mut rng = SimRng::new(cfg.seed);
         let map = Arc::new(Linux44Map::new());
         let pools = PoolSet::new(cfg.num_pcpus, cfg.normal_slice, cfg.micro_slice);

@@ -200,12 +200,11 @@ impl Machine {
         {
             return idle;
         }
-        // Unreachable expect: admissibility was asserted above.
         *members
             .iter()
             .filter(|&&p| admit(p))
             .min_by_key(|&&p| (self.pcpus[p.0 as usize].load(), p.0))
-            .expect("non-empty")
+            .expect("non-empty") // PANIC-OK(admissibility was asserted above; the filter is non-empty)
     }
 
     /// Enqueues a runnable vCPU on a pCPU and handles wakeup preemption.
@@ -367,7 +366,7 @@ impl Machine {
         if !self.vcpu(vcpu).is_running() {
             return;
         }
-        // Unreachable expect: `is_running` was re-checked just above.
+        // PANIC-OK(`is_running` was re-checked just above)
         let pcpu = self.vcpu(vcpu).pcpu().expect("running");
         if cause == YieldCause::Halt {
             self.deschedule(vcpu, RequeueMode::Block);
@@ -388,8 +387,7 @@ impl Machine {
     /// uninterrupted; the actual stop may be the slice end or a guest
     /// preemption point, whichever is first.
     pub(crate) fn plan_stop(&mut self, vcpu: VcpuId, at: SimTime, stop: Stop) {
-        // Unreachable expect: only the step loop plans stops, and it runs
-        // exclusively on running vCPUs.
+        // PANIC-OK(only the step loop plans stops, and it runs exclusively on running vCPUs)
         let pcpu = self.vcpu(vcpu).pcpu().expect("planning for running vCPU");
         let slice_end = self.pcpus[pcpu.0 as usize].slice_end;
         let (at, stop) = if slice_end <= at {

@@ -31,12 +31,11 @@ impl Machine {
             // unless already inside a handler (interrupts stay disabled).
             let in_handler = matches!(self.vcpus[vmi][vi].ctx.activity, Activity::KWorkRun { .. });
             if !in_handler && !self.vcpus[vmi][vi].ctx.pending.is_empty() {
-                // Unreachable expect: guarded by the `is_empty` check above.
                 let work = *self.vcpus[vmi][vi]
                     .ctx
                     .pending
                     .front()
-                    .expect("checked non-empty");
+                    .expect("checked non-empty"); // PANIC-OK(guarded by the `is_empty` check above)
                 let cost = self.kwork_cost(vcpu, work);
                 self.vcpus[vmi][vi].ctx.begin_kwork(cost);
                 continue;
@@ -235,8 +234,7 @@ impl Machine {
                 let work = self.vcpus[vmi][vi].ctx.end_kwork();
                 self.handle_kwork_done(vcpu, work);
             }
-            // Unreachable: callers only complete timed activities whose
-            // remaining time hit zero; waits and Idle never have one.
+            // PANIC-OK(callers only complete timed activities; waits and Idle never reach here)
             other => panic!("complete_activity on {other:?}"),
         }
     }
@@ -309,13 +307,13 @@ impl Machine {
             KWork::TlbFlush { sd } => {
                 let complete = self.vms[vmi].kernel.shootdowns.ack(sd, vcpu.idx);
                 if complete {
-                    // Unreachable expect: `ack` just returned true for this
-                    // id, and only `finish` below removes table entries.
+                    // `ack` just returned true for this id, and only
+                    // `finish` below removes table entries.
                     let info = self.vms[vmi]
                         .kernel
                         .shootdowns
                         .get(sd)
-                        .expect("completed shootdown still tabled");
+                        .expect("completed shootdown still tabled"); // PANIC-OK(ack returned true; see above)
                     let initiator = VcpuId::new(vcpu.vm, info.initiator);
                     let task = info.task;
                     let waiting = matches!(
@@ -345,14 +343,12 @@ impl Machine {
                         Activity::ReschedWait { token: t, .. } if t == token
                     );
                     if waiting {
-                        // Unreachable expect: the variant carries a task by
-                        // construction (`matches!` above pinned it).
                         let task = self
                             .vcpu(wid)
                             .ctx
                             .activity
                             .task()
-                            .expect("ReschedWait has a task");
+                            .expect("ReschedWait has a task"); // PANIC-OK(the `matches!` above pinned the variant)
                         self.resume_waiter(wid, task);
                     }
                 }

@@ -37,6 +37,7 @@ pub fn first_rank_above(keys: &[u8], rank: u8) -> usize {
     let mut chunks = keys.chunks_exact(8);
     let mut base = 0;
     for chunk in &mut chunks {
+        // PANIC-OK(chunks_exact yields exactly 8 bytes per chunk)
         let word = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
         let ge = (word | HI).wrapping_sub(threshold) & HI;
         if ge != 0 {
@@ -45,7 +46,7 @@ pub fn first_rank_above(keys: &[u8], rank: u8) -> usize {
                 pos,
                 keys.iter()
                     .position(|&k| k > rank)
-                    .expect("hit implies a match"),
+                    .expect("hit implies a match"), // PANIC-OK(debug-only SWAR cross-check)
             );
             return pos;
         }

@@ -84,8 +84,7 @@ impl PoolSet {
             PoolId::Normal => (&mut self.micro, &mut self.normal),
             PoolId::Micro => (&mut self.normal, &mut self.micro),
         };
-        // Unreachable expect: membership and the member lists move in
-        // lock-step, so the pCPU is always on its old pool's list.
+        // PANIC-OK(membership and the member lists move in lock-step; the pCPU is on its old pool's list)
         let pos = from.iter().position(|&p| p == pcpu).expect("member list");
         from.remove(pos);
         let ins = to.partition_point(|&p| p < pcpu);

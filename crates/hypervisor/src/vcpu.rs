@@ -52,6 +52,7 @@ impl Prio {
             0 => Prio::Boost,
             1 => Prio::Under,
             2 => Prio::Over,
+            // PANIC-OK(run-queue keys are produced by Prio::rank and nothing else)
             _ => panic!("invalid priority rank {rank}"),
         }
     }

@@ -7,6 +7,7 @@
 //! work migrates the recipient vCPU.
 
 use crate::table::SymbolTable;
+// SIMLINT: lookup-only map (class_of/classify); no code path iterates it
 use std::collections::HashMap;
 
 /// The kind of critical OS service a kernel symbol belongs to.
@@ -58,6 +59,8 @@ impl CriticalClass {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Whitelist {
+    // SIMLINT: queried by symbol name only (class_of); iteration order
+    // can never escape — len() is the sole aggregate observer.
     classes: HashMap<&'static str, CriticalClass>,
     /// Registered user-space critical regions: `(start, end, class)`.
     ///
@@ -130,7 +133,7 @@ impl Whitelist {
     /// "detection disabled" baselines and ablations.
     pub fn empty() -> Self {
         Whitelist {
-            classes: HashMap::new(),
+            classes: HashMap::new(), // SIMLINT: empty lookup-only map
             user_regions: Vec::new(),
         }
     }

@@ -1,0 +1,104 @@
+//! The `simlint.allow` baseline: justified historical findings.
+//!
+//! Each entry names one finding by its line-move-tolerant fingerprint
+//! (rule + path + whitespace-normalized snippet + occurrence index).
+//! Linting with a baseline suppresses exactly the fingerprinted sites;
+//! anything new fails, and a baseline entry whose site has disappeared
+//! is reported as *stale* and also fails — the file never accumulates
+//! dead grants.
+//!
+//! Format: one entry per line, `#` starts a comment (use comments to
+//! record the justification for the entries below them):
+//!
+//! ```text
+//! # comparators: drained into a totally-ordered sort each period
+//! D2 0123456789abcdef crates/core/src/comparators.rs # use std::collections::HashMap;
+//! ```
+//!
+//! Regenerate with `simlint --workspace --write-baseline` after an
+//! intentional, justified addition.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// fingerprint → the entry's source line (for stale reporting).
+    entries: BTreeMap<u64, String>,
+}
+
+impl Baseline {
+    /// Parses baseline text. Unparseable lines are errors — a typo in
+    /// the baseline must not silently widen or narrow the gate.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let (Some(_rule), Some(hex), Some(_path)) =
+                (fields.next(), fields.next(), fields.next())
+            else {
+                return Err(format!("baseline line {}: expected `RULE HEX PATH`", n + 1));
+            };
+            let fp = u64::from_str_radix(hex, 16)
+                .map_err(|_| format!("baseline line {}: bad fingerprint {hex:?}", n + 1))?;
+            entries.insert(fp, line.to_string());
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders `findings` as baseline text (sorted, with a header).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# simlint baseline — fingerprinted findings allowed to remain.\n\
+             # Every entry must carry a justification comment. Regenerate with\n\
+             # `cargo run -p simlint --release -- --workspace --write-baseline`.\n",
+        );
+        let mut sorted: Vec<&Finding> = findings.iter().collect();
+        sorted.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        for f in sorted {
+            out.push_str(&format!(
+                "{} {:016x} {} # {}\n",
+                f.rule, f.fingerprint, f.path, f.snippet
+            ));
+        }
+        out
+    }
+
+    /// Splits `findings` into (new, suppressed) and returns the stale
+    /// baseline entries whose fingerprints matched nothing.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>, Vec<String>) {
+        let mut used: BTreeMap<u64, bool> = self.entries.keys().map(|&fp| (fp, false)).collect();
+        let (mut fresh, mut suppressed) = (Vec::new(), Vec::new());
+        for f in findings {
+            if let Some(hit) = used.get_mut(&f.fingerprint) {
+                *hit = true;
+                suppressed.push(f);
+            } else {
+                fresh.push(f);
+            }
+        }
+        let stale = used
+            .iter()
+            .filter(|(_, &hit)| !hit)
+            .map(|(fp, _)| self.entries[fp].clone())
+            .collect();
+        (fresh, suppressed, stale)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline grants nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

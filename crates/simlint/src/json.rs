@@ -1,0 +1,260 @@
+//! Hand-rolled JSON for `--format json` (same no-crates.io philosophy
+//! as the runner's COSTS.json codec): an emitter for findings and a
+//! minimal parser so tests can round-trip the output.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Escapes `s` as a JSON string body.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the lint outcome as a single JSON object.
+pub fn render(findings: &[Finding], suppressed: usize, stale: &[String]) -> String {
+    let mut out = String::from("{\"version\":1,\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\
+             \"tokens\":\"{}\",\"snippet\":\"{}\",\"hint\":\"{}\",\
+             \"fingerprint\":\"{:016x}\"}}",
+            f.rule,
+            esc(&f.path),
+            f.line,
+            f.col,
+            esc(&f.tokens),
+            esc(&f.snippet),
+            esc(f.hint),
+            f.fingerprint,
+        ));
+    }
+    out.push_str(&format!(
+        "],\"suppressed\":{},\"stale_baseline\":[",
+        suppressed
+    ));
+    for (i, s) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", esc(s)));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A parsed JSON value (tooling/test support).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (f64 is exact for the ints this schema emits).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; BTreeMap keeps key order deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member access for objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let v = parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at offset {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\r' | b'\n') {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, i);
+    if b.get(*i) == Some(&c) {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {}", c as char, i))
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => {
+            *i += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(m));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = parse_string(b, i)?;
+                expect(b, i, b':')?;
+                m.insert(key, parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(m));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut v = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(v));
+            }
+            loop {
+                v.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(v));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {i}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, i)?)),
+        Some(b't') if b[*i..].starts_with(b"true") => {
+            *i += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*i..].starts_with(b"false") => {
+            *i += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*i..].starts_with(b"null") => {
+            *i += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *i;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                *i += 1;
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at offset {start}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    expect(b, i, b'"')?;
+    let mut out = String::new();
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {i}")),
+                }
+                *i += 1;
+            }
+            c if c < 0x80 => {
+                out.push(c as char);
+                *i += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the whole sequence.
+                let s = std::str::from_utf8(&b[*i..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().ok_or("empty char")?;
+                out.push(c);
+                *i += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}

@@ -1,0 +1,310 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The rules engine only needs a faithful *token stream* — identifiers,
+//! punctuation, literals, and comments with exact source positions — not
+//! a parse tree. Rolling the ~200 lines ourselves keeps the workspace's
+//! no-crates.io policy (the same reasoning as the vendored proptest and
+//! criterion stubs) and, more importantly, keeps the lexer auditable:
+//! every determinism proof in this repo ultimately leans on this gate,
+//! so the gate itself must be simple enough to read in one sitting.
+//!
+//! Supported Rust surface: line and (nested) block comments, string /
+//! raw-string / byte-string / char literals, lifetimes (disambiguated
+//! from char literals), raw identifiers (`r#type`), numeric literals
+//! including float exponents, and single-character punctuation. That is
+//! enough to never misclassify an occurrence of e.g. `HashMap` inside a
+//! string or comment as code, which is the property the rules need.
+
+/// The classification of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `b'\n'`.
+    CharLit,
+    /// A string or byte-string literal: `"..."`, `b"..."`.
+    StrLit,
+    /// A raw (byte) string literal: `r"..."`, `r#"..."#`, `br#"..."#`.
+    RawStrLit,
+    /// An integer or float literal.
+    NumLit,
+    /// A single punctuation character.
+    Punct,
+    /// A `// ...` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// A `/* ... */` comment; nesting is tracked.
+    BlockComment,
+}
+
+/// One token with its byte span and 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Exclusive byte offset of the end.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (byte-counted) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string passed to [`lex`]).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+struct Lx<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lx<'_> {
+    fn peek(&self, k: usize) -> u8 {
+        self.b.get(self.i + k).copied().unwrap_or(0)
+    }
+
+    fn eat(&mut self) {
+        if self.b[self.i] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.i += 1;
+    }
+
+    fn eat_while(&mut self, f: impl Fn(u8) -> bool) {
+        while self.i < self.b.len() && f(self.peek(0)) {
+            self.eat();
+        }
+    }
+
+    /// Consumes a `"..."` body starting at the opening quote.
+    fn string(&mut self) {
+        self.eat(); // opening "
+        while self.i < self.b.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.eat();
+                    if self.i < self.b.len() {
+                        self.eat();
+                    }
+                }
+                b'"' => {
+                    self.eat();
+                    return;
+                }
+                _ => self.eat(),
+            }
+        }
+    }
+
+    /// Consumes `r"..."` / `r#*"..."#*` starting at the `r` (any `b`
+    /// prefix already consumed by the caller).
+    fn raw_string(&mut self) {
+        self.eat(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.eat();
+        }
+        if self.peek(0) != b'"' {
+            return; // not actually a raw string; tolerate
+        }
+        self.eat(); // "
+        while self.i < self.b.len() {
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        self.eat();
+                    }
+                    return;
+                }
+            }
+            self.eat();
+        }
+    }
+
+    /// Consumes a char literal or a lifetime starting at the `'`,
+    /// returning the token kind.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let n1 = self.peek(1);
+        if n1 == b'\\' {
+            // Escaped char literal: consume to the closing quote.
+            self.eat(); // '
+            self.eat(); // backslash
+            if self.i < self.b.len() {
+                self.eat(); // escaped char
+            }
+            self.eat_while(|c| c != b'\'' && c != b'\n');
+            if self.peek(0) == b'\'' {
+                self.eat();
+            }
+            TokenKind::CharLit
+        } else if is_ident_start(n1) {
+            if self.peek(2) == b'\'' {
+                // 'x' — a one-character char literal.
+                self.eat();
+                self.eat();
+                self.eat();
+                TokenKind::CharLit
+            } else {
+                // 'ident with no closing quote: a lifetime.
+                self.eat(); // '
+                self.eat_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+        } else {
+            // '(' , '1' , ... — a punctuation/digit char literal.
+            self.eat(); // '
+            if self.i < self.b.len() {
+                self.eat();
+            }
+            if self.peek(0) == b'\'' {
+                self.eat();
+            }
+            TokenKind::CharLit
+        }
+    }
+
+    /// Consumes a numeric literal starting at a digit.
+    fn number(&mut self) {
+        let mut prev = 0u8;
+        let mut seen_dot = false;
+        while self.i < self.b.len() {
+            let c = self.peek(0);
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                prev = c;
+                self.eat();
+            } else if c == b'.' && !seen_dot && self.peek(1).is_ascii_digit() {
+                seen_dot = true;
+                prev = c;
+                self.eat();
+            } else if (c == b'+' || c == b'-') && (prev == b'e' || prev == b'E') {
+                prev = c;
+                self.eat();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Tokenizes `src`, skipping whitespace but keeping comments.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lx {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while lx.i < lx.b.len() {
+        let (start, line, col) = (lx.i, lx.line, lx.col);
+        let c = lx.peek(0);
+        let kind = match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                lx.eat();
+                continue;
+            }
+            b'/' if lx.peek(1) == b'/' => {
+                lx.eat_while(|c| c != b'\n');
+                TokenKind::LineComment
+            }
+            b'/' if lx.peek(1) == b'*' => {
+                lx.eat();
+                lx.eat();
+                let mut depth = 1usize;
+                while lx.i < lx.b.len() && depth > 0 {
+                    if lx.peek(0) == b'/' && lx.peek(1) == b'*' {
+                        lx.eat();
+                        lx.eat();
+                        depth += 1;
+                    } else if lx.peek(0) == b'*' && lx.peek(1) == b'/' {
+                        lx.eat();
+                        lx.eat();
+                        depth -= 1;
+                    } else {
+                        lx.eat();
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lx.string();
+                TokenKind::StrLit
+            }
+            b'\'' => lx.char_or_lifetime(),
+            b'r' if lx.peek(1) == b'"' || (lx.peek(1) == b'#' && !is_ident_start(lx.peek(2))) => {
+                lx.raw_string();
+                TokenKind::RawStrLit
+            }
+            b'r' if lx.peek(1) == b'#' && is_ident_start(lx.peek(2)) => {
+                // Raw identifier r#type.
+                lx.eat();
+                lx.eat();
+                lx.eat_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            b'b' if lx.peek(1) == b'"' => {
+                lx.eat();
+                lx.string();
+                TokenKind::StrLit
+            }
+            b'b' if lx.peek(1) == b'\'' => {
+                lx.eat();
+                lx.char_or_lifetime();
+                TokenKind::CharLit
+            }
+            b'b' if lx.peek(1) == b'r' && (lx.peek(2) == b'"' || lx.peek(2) == b'#') => {
+                lx.eat();
+                lx.raw_string();
+                TokenKind::RawStrLit
+            }
+            c if is_ident_start(c) => {
+                lx.eat_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                lx.number();
+                TokenKind::NumLit
+            }
+            _ => {
+                lx.eat();
+                TokenKind::Punct
+            }
+        };
+        toks.push(Token {
+            kind,
+            start,
+            end: lx.i,
+            line,
+            col,
+        });
+    }
+    toks
+}

@@ -1,0 +1,76 @@
+//! Deterministic workspace discovery: every `.rs` file under
+//! `crates/*/src/`, in sorted order.
+//!
+//! Only `src/` trees are walked: `tests/`, `benches/` and `examples/`
+//! code cannot leak nondeterminism into simulation output, and the rule
+//! engine independently exempts `#[cfg(test)]` regions inside `src/`
+//! files. Sorted order makes the tool's own output byte-stable — the
+//! gate must satisfy the property it enforces.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collects workspace-relative + absolute paths of every lintable file.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    let mut files = Vec::new();
+    for member in members {
+        let src = member.join("src");
+        if src.is_dir() {
+            collect(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files
+        .into_iter()
+        .map(|abs| {
+            let rel = abs
+                .strip_prefix(root)
+                .unwrap_or(&abs)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            (rel, abs)
+        })
+        .collect())
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

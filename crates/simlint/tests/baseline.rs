@@ -1,0 +1,60 @@
+//! Baseline parsing, application, and staleness semantics.
+
+use simlint::{lint_source, Baseline};
+
+const HV_PATH: &str = "crates/hypervisor/src/fixture.rs";
+
+#[test]
+fn render_then_parse_suppresses_everything() {
+    let src = include_str!("fixtures/d4_panics.rs");
+    let findings = lint_source(HV_PATH, src);
+    assert_eq!(findings.len(), 2);
+    let text = Baseline::render(&findings);
+    let baseline = Baseline::parse(&text).unwrap();
+    assert_eq!(baseline.len(), 2);
+    let (fresh, suppressed, stale) = baseline.apply(findings);
+    assert!(fresh.is_empty());
+    assert_eq!(suppressed.len(), 2);
+    assert!(stale.is_empty());
+}
+
+#[test]
+fn comments_and_blank_lines_are_ignored() {
+    let text = "# a justification comment\n\n# another\n";
+    let baseline = Baseline::parse(text).unwrap();
+    assert!(baseline.is_empty());
+}
+
+#[test]
+fn unparseable_lines_are_errors() {
+    assert!(Baseline::parse("garbage\n").is_err());
+    assert!(Baseline::parse("D2 nothex crates/core/src/x.rs\n").is_err());
+}
+
+#[test]
+fn stale_entries_are_reported() {
+    let src = include_str!("fixtures/d4_panics.rs");
+    let findings = lint_source(HV_PATH, src);
+    let text = format!(
+        "{}D9 00000000deadbeef crates/gone/src/gone.rs # fixed long ago\n",
+        Baseline::render(&findings)
+    );
+    let baseline = Baseline::parse(&text).unwrap();
+    let (fresh, suppressed, stale) = baseline.apply(findings);
+    assert!(fresh.is_empty());
+    assert_eq!(suppressed.len(), 2);
+    assert_eq!(stale.len(), 1);
+    assert!(stale[0].contains("deadbeef"));
+}
+
+#[test]
+fn baseline_matches_by_fingerprint_not_position() {
+    let src = include_str!("fixtures/d4_panics.rs");
+    let baseline = Baseline::parse(&Baseline::render(&lint_source(HV_PATH, src))).unwrap();
+    // The same violations shifted down two lines still match.
+    let moved = format!("//! Moved.\n\n{src}");
+    let (fresh, suppressed, stale) = baseline.apply(lint_source(HV_PATH, &moved));
+    assert!(fresh.is_empty());
+    assert_eq!(suppressed.len(), 2);
+    assert!(stale.is_empty());
+}

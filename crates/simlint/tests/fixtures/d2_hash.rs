@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub struct Counters {
+    map: HashMap<u32, u64>,
+}

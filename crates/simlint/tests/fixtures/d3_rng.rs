@@ -1,0 +1,4 @@
+fn fresh(seed: u64) -> u64 {
+    let mut rng = SimRng::new(seed);
+    rng.next_u64()
+}

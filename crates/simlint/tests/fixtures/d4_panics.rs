@@ -1,0 +1,7 @@
+fn pick(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+fn boom() {
+    panic!("nope");
+}

@@ -1,0 +1,7 @@
+use std::sync::mpsc;
+
+fn fan_out() {
+    let (tx, rx) = mpsc::channel::<u32>();
+    std::thread::spawn(move || drop(tx));
+    drop(rx);
+}

@@ -1,0 +1,4 @@
+fn noop() {
+    // PANIC-OK()
+    // SIMLINT:
+}

@@ -1,0 +1,31 @@
+//! Justified sites — every potential finding here is suppressed.
+
+use std::collections::HashMap; // SIMLINT: lookup-only map; iteration order never escapes
+
+pub struct Table {
+    // SIMLINT: queried by key only; len() is the sole aggregate observer
+    slots: HashMap<u32, u64>,
+}
+
+fn pick(v: &[u32]) -> u32 {
+    // A prose line may precede the tag within the same comment block.
+    // PANIC-OK(callers guarantee non-empty)
+    *v.first().unwrap()
+}
+
+fn pick_tagged_above_prose(v: &[u32]) -> u32 {
+    // PANIC-OK(the tag may also sit above trailing prose)
+    // More prose after the tag, still one contiguous block.
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let _ = Instant::now();
+        let _ = "HashMap in a string is not code";
+    }
+}

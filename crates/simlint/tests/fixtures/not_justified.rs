@@ -1,0 +1,15 @@
+fn pick(v: &[u32]) -> u32 {
+    // PANIC-OK(a blank line below breaks the justification block)
+
+    *v.first().unwrap()
+}
+
+fn tag_in_string() -> u32 {
+    let _ = "PANIC-OK(not a comment, must not suppress)";
+    [1u32].first().copied().unwrap()
+}
+
+fn wrong_kind() -> u32 {
+    // SIMLINT: wrong tag kind for a D4 site
+    [1u32].first().copied().unwrap()
+}

@@ -1,0 +1,60 @@
+//! `--format json` output round-trips through the bundled parser with
+//! every field intact.
+
+use simlint::{json, lint_source};
+
+#[test]
+fn findings_round_trip_through_json() {
+    let src = include_str!("fixtures/d4_panics.rs");
+    let findings = lint_source("crates/hypervisor/src/fixture.rs", src);
+    assert_eq!(findings.len(), 2);
+    let stale = vec!["D2 0123456789abcdef crates/gone.rs # \"quoted\"".to_string()];
+    let text = json::render(&findings, 3, &stale);
+
+    let doc = json::parse(&text).unwrap();
+    assert_eq!(doc.get("version").and_then(|v| v.as_num()), Some(1.0));
+    assert_eq!(doc.get("suppressed").and_then(|v| v.as_num()), Some(3.0));
+    let parsed_stale = doc.get("stale_baseline").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(parsed_stale[0].as_str(), Some(stale[0].as_str()));
+
+    let arr = doc.get("findings").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(arr.len(), findings.len());
+    for (j, f) in arr.iter().zip(&findings) {
+        assert_eq!(j.get("rule").and_then(|v| v.as_str()), Some(f.rule));
+        assert_eq!(
+            j.get("path").and_then(|v| v.as_str()),
+            Some(f.path.as_str())
+        );
+        assert_eq!(j.get("line").and_then(|v| v.as_num()), Some(f.line as f64));
+        assert_eq!(j.get("col").and_then(|v| v.as_num()), Some(f.col as f64));
+        assert_eq!(
+            j.get("snippet").and_then(|v| v.as_str()),
+            Some(f.snippet.as_str())
+        );
+        // Fingerprints travel as 16-hex-digit strings: JSON numbers are
+        // f64 and cannot hold a u64 exactly.
+        assert_eq!(
+            j.get("fingerprint").and_then(|v| v.as_str()),
+            Some(format!("{:016x}", f.fingerprint).as_str())
+        );
+    }
+}
+
+#[test]
+fn escapes_survive_the_round_trip() {
+    let src = "fn f() {\n    panic!(\"tab\\there \\\"and\\\" quotes\");\n}\n";
+    let findings = lint_source("crates/hypervisor/src/fixture.rs", src);
+    assert_eq!(findings.len(), 1);
+    let doc = json::parse(&json::render(&findings, 0, &[])).unwrap();
+    let arr = doc.get("findings").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(
+        arr[0].get("snippet").and_then(|v| v.as_str()),
+        Some(findings[0].snippet.as_str())
+    );
+}
+
+#[test]
+fn empty_report_parses() {
+    let doc = json::parse(&json::render(&[], 0, &[])).unwrap();
+    assert_eq!(doc.get("findings").and_then(|v| v.as_arr()), Some(&[][..]));
+}

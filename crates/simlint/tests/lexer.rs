@@ -1,0 +1,98 @@
+//! Lexer edge cases: the properties the rules engine leans on.
+
+use simlint::lexer::{lex, TokenKind};
+
+fn idents(src: &str) -> Vec<&str> {
+    lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src))
+        .collect()
+}
+
+#[test]
+fn raw_strings_hide_their_contents() {
+    let src = r###"let s = r#"HashMap "quoted" Instant"#;"###;
+    assert_eq!(idents(src), ["let", "s"]);
+    let toks = lex(src);
+    assert!(toks.iter().any(|t| t.kind == TokenKind::RawStrLit));
+}
+
+#[test]
+fn byte_and_plain_strings_hide_their_contents() {
+    let src = r#"let a = "HashMap"; let b = b"Instant";"#;
+    let ids = idents(src);
+    assert!(!ids.contains(&"HashMap"));
+    assert!(!ids.contains(&"Instant"));
+    assert_eq!(
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn nested_block_comments_stay_one_token() {
+    let src = "/* outer /* Instant */ still comment */ fn f() {}";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    assert_eq!(toks[0].text(src), "/* outer /* Instant */ still comment */");
+    assert_eq!(idents(src), ["fn", "f"]);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+    let toks = lex(src);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a"]);
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::CharLit)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(chars, ["'x'"]);
+}
+
+#[test]
+fn escaped_and_punct_char_literals() {
+    let src = r"let nl = '\n'; let open = '('; let b = b'x';";
+    let chars = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::CharLit)
+        .count();
+    assert_eq!(chars, 3);
+}
+
+#[test]
+fn raw_identifiers_lex_as_idents() {
+    let src = "fn r#type() {}";
+    assert!(idents(src).contains(&"r#type"));
+}
+
+#[test]
+fn float_exponents_are_one_token() {
+    let src = "let x = 1.5e-3 + 2E+7;";
+    let nums: Vec<&str> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::NumLit)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(nums, ["1.5e-3", "2E+7"]);
+}
+
+#[test]
+fn positions_are_one_based_lines_and_cols() {
+    let src = "let a = 1;\n  let b = 2;";
+    let toks = lex(src);
+    let a = toks.iter().find(|t| t.text(src) == "a").unwrap();
+    assert_eq!((a.line, a.col), (1, 5));
+    let b = toks.iter().find(|t| t.text(src) == "b").unwrap();
+    assert_eq!((b.line, b.col), (2, 7));
+}

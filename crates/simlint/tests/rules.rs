@@ -1,0 +1,128 @@
+//! Fixture-driven rule tests: each known-bad fixture fires the exact
+//! rule at the exact position, known-good fixtures stay silent, and
+//! justification handling matches the documented grammar.
+
+use simlint::lint_source;
+
+/// (rule, line, col) triples of the findings for `src` at `path`.
+fn hits(path: &str, src: &str) -> Vec<(&'static str, u32, u32)> {
+    lint_source(path, src)
+        .iter()
+        .map(|f| (f.rule, f.line, f.col))
+        .collect()
+}
+
+const SIM_PATH: &str = "crates/simcore/src/fixture.rs";
+const HV_PATH: &str = "crates/hypervisor/src/fixture.rs";
+
+#[test]
+fn d1_wall_clock_in_sim_crates() {
+    let src = include_str!("fixtures/d1_instant.rs");
+    assert_eq!(hits(SIM_PATH, src), [("D1", 1, 16), ("D1", 4, 14)]);
+}
+
+#[test]
+fn d1_is_scoped_to_sim_crates_and_allowlists_the_watchdog() {
+    let src = include_str!("fixtures/d1_instant.rs");
+    assert!(hits("crates/experiments/src/fixture.rs", src).is_empty());
+    assert!(hits("crates/simcore/src/watchdog.rs", src).is_empty());
+}
+
+#[test]
+fn d2_hash_collections() {
+    let src = include_str!("fixtures/d2_hash.rs");
+    assert_eq!(hits(SIM_PATH, src), [("D2", 1, 23), ("D2", 4, 10)]);
+    // D2 applies workspace-wide, not just to sim crates.
+    assert_eq!(
+        hits("crates/experiments/src/fixture.rs", src),
+        [("D2", 1, 23), ("D2", 4, 10)]
+    );
+}
+
+#[test]
+fn d3_fresh_generator_construction() {
+    let src = include_str!("fixtures/d3_rng.rs");
+    assert_eq!(hits(SIM_PATH, src), [("D3", 2, 19)]);
+    assert!(hits("crates/simcore/src/rng.rs", src).is_empty());
+}
+
+#[test]
+fn d4_panics_in_hypervisor_only() {
+    let src = include_str!("fixtures/d4_panics.rs");
+    assert_eq!(hits(HV_PATH, src), [("D4", 2, 15), ("D4", 6, 5)]);
+    // D4 is scoped to the hypervisor crate.
+    assert!(hits(SIM_PATH, src).is_empty());
+}
+
+#[test]
+fn d5_ad_hoc_threads_and_channels() {
+    let src = include_str!("fixtures/d5_threads.rs");
+    assert_eq!(
+        hits(SIM_PATH, src),
+        [("D5", 1, 16), ("D5", 4, 20), ("D5", 5, 10)]
+    );
+    assert!(hits("crates/experiments/src/runner/pool.rs", src).is_empty());
+}
+
+#[test]
+fn justified_fixture_is_silent() {
+    let src = include_str!("fixtures/justified.rs");
+    assert!(hits(HV_PATH, src).is_empty());
+}
+
+#[test]
+fn broken_blocks_strings_and_wrong_kinds_do_not_suppress() {
+    let src = include_str!("fixtures/not_justified.rs");
+    assert_eq!(
+        hits(HV_PATH, src),
+        [("D4", 4, 15), ("D4", 9, 28), ("D4", 14, 28)]
+    );
+}
+
+#[test]
+fn malformed_tags_report_j0() {
+    let src = include_str!("fixtures/j0_malformed.rs");
+    assert_eq!(hits(SIM_PATH, src), [("J0", 2, 5), ("J0", 3, 5)]);
+}
+
+#[test]
+fn matches_never_fire_inside_strings_or_comments() {
+    let src = "// HashMap in a comment\n/* Instant */\nlet s = \"HashMap\";\n";
+    assert!(hits(SIM_PATH, src).is_empty());
+}
+
+#[test]
+fn cfg_test_items_are_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+    assert!(hits(SIM_PATH, src).is_empty());
+    // The same code outside a test item fires.
+    let src = "mod not_tests {\n    use std::collections::HashMap;\n}\n";
+    assert_eq!(hits(SIM_PATH, src), [("D2", 2, 27)]);
+}
+
+#[test]
+fn fingerprints_survive_line_moves() {
+    let src = include_str!("fixtures/d2_hash.rs");
+    let moved = format!("//! A leading doc line.\n\n{src}");
+    let a: Vec<u64> = lint_source(SIM_PATH, src)
+        .iter()
+        .map(|f| f.fingerprint)
+        .collect();
+    let b: Vec<u64> = lint_source(SIM_PATH, &moved)
+        .iter()
+        .map(|f| f.fingerprint)
+        .collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn identical_violations_get_distinct_fingerprints() {
+    let src = "fn f(a: Option<u32>, b: Option<u32>) -> u32 {\n    a.unwrap();\n    a.unwrap();\n    b.unwrap()\n}\n";
+    let fps: Vec<u64> = lint_source(HV_PATH, src)
+        .iter()
+        .map(|f| f.fingerprint)
+        .collect();
+    assert_eq!(fps.len(), 3);
+    // Lines 2 and 3 are byte-identical; line 4 differs. All distinct.
+    assert!(fps[0] != fps[1] && fps[1] != fps[2] && fps[0] != fps[2]);
+}

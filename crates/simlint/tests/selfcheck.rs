@@ -1,0 +1,27 @@
+//! The gate must pass on its own tree: linting the real workspace with
+//! the committed `simlint.allow` reports nothing fresh and nothing
+//! stale. This is the same check `scripts/ci.sh` runs, kept in `cargo
+//! test` so a violation (or a fixed-but-still-baselined site) fails
+//! before CI.
+
+use simlint::{lint_workspace, Baseline};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_the_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root).expect("walk workspace");
+    let text = std::fs::read_to_string(root.join("simlint.allow")).expect("read simlint.allow");
+    let baseline = Baseline::parse(&text).expect("parse simlint.allow");
+    let (fresh, _suppressed, stale) = baseline.apply(findings);
+    assert!(
+        fresh.is_empty(),
+        "unjustified findings — fix, tag, or baseline them:\n{:#?}",
+        fresh
+    );
+    assert!(
+        stale.is_empty(),
+        "stale simlint.allow entries — the sites were fixed; remove them:\n{:#?}",
+        stale
+    );
+}

@@ -22,6 +22,8 @@
 //! [`scenarios`] assembles the VM specs of the paper's experiments (solo,
 //! co-run, mixed co-run, pinned single-core pairs).
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod profile;
 pub mod scenarios;

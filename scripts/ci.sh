@@ -13,6 +13,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== build (release) ==" >&2
 cargo build --release
 
+echo "== simlint (determinism & poisoning rules) ==" >&2
+# The D1-D5 gate (see DESIGN.md §4.9). Fails on any finding not covered
+# by the checked-in simlint.allow baseline and on stale baseline entries.
+# After an intentional, justified addition, regenerate the baseline with
+#   cargo run -p simlint --release -- --workspace --write-baseline
+# and record the justification as a `#` comment above the new entry.
+cargo run -p simlint --release --quiet -- --workspace --baseline simlint.allow
+
 echo "== doc build (deny warnings) ==" >&2
 # Broken intra-doc links and missing docs (simcore/hypervisor carry
 # #![warn(missing_docs)]) fail fast here instead of rotting.
