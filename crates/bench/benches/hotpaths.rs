@@ -11,6 +11,33 @@ use simcore::rng::SimRng;
 use simcore::time::{SimDuration, SimTime};
 use workloads::{scenarios, Workload};
 
+/// Fixed in-process calibration spin: a pure integer mix (SplitMix64
+/// rounds) with no allocation, no branches on data, and no memory
+/// traffic beyond two registers. Its minimum depends only on the host
+/// core's effective speed, so the ratio of any hot-path minimum to this
+/// row cancels host differences — frequency scaling, a slower CI
+/// machine, background load — that raw `min_ns` comparisons conflate
+/// with real regressions (the pr6→pr7 `event_queue_push_pop_1k` 42→62 µs
+/// "drift" was exactly such noise). `scripts/ci.sh` gates on
+/// calibration-normalized ratios; EXPERIMENTS.md explains the reading.
+fn bench_calibration(c: &mut Criterion) {
+    c.bench_function("calibration_spin", |b| {
+        b.iter(|| {
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            let mut acc = 0u64;
+            for _ in 0..200_000 {
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                acc = acc.wrapping_add(x);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_1k", |b| {
         b.iter(|| {
@@ -300,6 +327,6 @@ fn bench_adaptive_admission(c: &mut Criterion) {
 criterion_group! {
     name = hotpaths;
     config = sim_criterion();
-    targets = bench_event_queue, bench_event_queue_cancel, bench_parallel_fanout, bench_runq_dispatch_scan, bench_segment_step, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second, bench_machine_snapshot, bench_adaptive_admission
+    targets = bench_calibration, bench_event_queue, bench_event_queue_cancel, bench_parallel_fanout, bench_runq_dispatch_scan, bench_segment_step, bench_rng, bench_histogram, bench_symbol_resolution, bench_sim_second, bench_machine_snapshot, bench_adaptive_admission
 }
 criterion_main!(hotpaths);

@@ -1,4 +1,12 @@
 //! Event decoding and the periodic scheduler timers.
+//!
+//! Staleness discipline: superseded transition plans are never cancelled
+//! through the queue — `on_transition` drops them by generation-stamp
+//! comparison when they fire. That idiom is what the timing-wheel queue
+//! is shaped around: a dead event sits in its wheel bucket untouched
+//! (no sift, no lookup) and costs exactly one skip when its slot drains,
+//! so replanning a vCPU's stop is O(1) no matter how many stale plans it
+//! leaves behind.
 
 use super::{Event, Machine, Stop};
 use crate::machine::sched::RequeueMode;

@@ -426,9 +426,10 @@ impl Machine {
 
     /// Schedules an event, routed to the shard of the cpupool it concerns
     /// (scheduler events) or the machine-global shard (timers, flows,
-    /// faults). Routing affects only heap locality — pops come out
-    /// ordered by `(time, push order)` across all shards, so the shard
-    /// choice can never change the simulation.
+    /// faults). Routing affects only locality — each shard is its own
+    /// timing wheel + slab — while pops come out ordered by
+    /// `(time, push order)` across all shards, so the shard choice can
+    /// never change the simulation.
     #[inline]
     pub(crate) fn push_event(&mut self, at: SimTime, event: Event) {
         let shard = match event {

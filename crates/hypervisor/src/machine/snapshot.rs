@@ -4,10 +4,12 @@
 //! warmup before diverging at a single parameter. This module makes the
 //! prefix shareable: [`Machine::snapshot`] captures the whole machine by
 //! plain `Clone` over its SoA/arena state — run-queue `prio_keys`/`vcpus`
-//! vectors, `FlatProgram` segment arenas and cursors, per-shard event
-//! slabs with their generation stamps, RNG streams, histograms, and the
-//! fault-plan cursor — and [`Snapshot::fork`] restores a cell-ready
-//! machine in O(state) with no re-simulation.
+//! vectors, `FlatProgram` segment arenas and cursors, per-shard timing
+//! wheels (bucket vectors, occupancy bitmaps, and drain cursor cloned
+//! verbatim) with their generation-stamped slabs and the merge front's
+//! cached heads, RNG streams, histograms, and the fault-plan cursor —
+//! and [`Snapshot::fork`] restores a cell-ready machine in O(state) with
+//! no re-simulation.
 //!
 //! Determinism contract: a fork continues bit-identically to the machine
 //! the snapshot was taken from. A cell that warms up for `W` and then

@@ -5,6 +5,12 @@
 //! performs all zero-time actions (starting segments, acquiring free
 //! locks, initiating shootdowns, taking interrupts) and finally schedules
 //! exactly one transition event — or yields the pCPU.
+//!
+//! Every stop planned here is a short-horizon timer (slice remainders,
+//! segment ends, IPI acks — the 0.1–30 ms classes the paper micro-slices
+//! around), which is precisely the range the event queue's timing wheel
+//! serves with O(1) bucket pushes; only far-future wakeups (long sleeps)
+//! spill to its overflow heap.
 
 use super::{Event, Machine, Stop};
 use crate::error::SimError;

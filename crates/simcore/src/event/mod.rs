@@ -1,25 +1,42 @@
 //! A cancellable, stably ordered discrete-event queue.
 //!
 //! Events at equal timestamps pop in insertion order, which makes the
-//! simulation deterministic regardless of heap internals. The queue is
+//! simulation deterministic regardless of queue internals. The queue is
 //! the simulator's hottest data structure — a 0.1 ms micro-slice run
-//! multiplies event counts ~300× over the 30 ms baseline — so it is
-//! built for per-event cost, not generality:
+//! multiplies event counts ~300× over the 30 ms baseline, and almost all
+//! of those events are short-horizon timers (slice expiry, IPI acks,
+//! kicks at 0.1–30 ms) — so it is built the way production timer
+//! subsystems are:
 //!
-//! - an **implicit 4-ary min-heap** over a flat `Vec` of 24-byte entries
-//!   (`(time, seq, slot)`): shallower than a binary heap, sift loops
-//!   touch consecutive cache lines, and no per-push allocation once the
-//!   vectors reach steady-state capacity;
-//! - a **generation-stamped slab** holding payloads: [`EventQueue::cancel`]
+//! - a **hierarchical timing wheel** buckets entries by firing time:
+//!   pushing a near-future timer is a bucket append plus a bitmap bit,
+//!   popping drains one pre-sorted slot buffer at a time, and a cancelled
+//!   timer never sifts through anything — its bucket entry is skipped
+//!   when its slot drains (DESIGN.md §4.10);
+//! - an **implicit 4-ary min-heap** catches what the wheel cannot hold:
+//!   events at or beyond the ~4.3 s wheel horizon and events behind the
+//!   drain frontier (the full priority-queue contract allows pushing
+//!   "into the past");
+//! - a **generation-stamped slab** holds payloads: [`EventQueue::cancel`]
 //!   is `O(1)` — it takes the payload out of the slot and lets the dead
-//!   heap entry surface lazily — and stale keys are rejected by the
+//!   wheel/heap entry surface lazily — and stale keys are rejected by the
 //!   generation stamp with no hashing anywhere on the push/pop path.
 //!
-//! Ties cannot occur in the heap: the `(time, seq)` key is unique because
+//! Ordering ties cannot occur: the `(time, seq)` key is unique because
 //! `seq` increments on every push, which is also what gives FIFO order
-//! within a timestamp.
+//! within a timestamp. The pre-wheel backend survives as
+//! [`HeapEventQueue`], the reference the `wheel_vs_heap` differential
+//! fuzz drives against this implementation.
 
 use crate::time::SimTime;
+
+pub mod heap;
+mod wheel;
+
+pub use heap::HeapEventQueue;
+
+use heap::{EntryHeap, HeapEntry, Slab};
+use wheel::{Wheel, SHIFT0};
 
 /// A handle to a scheduled event, usable to cancel it before it fires.
 ///
@@ -45,35 +62,9 @@ impl EventKey {
     }
 }
 
-/// One implicit-heap entry. The ordering key `(at, seq)` is stored
-/// inline so sifting never chases into the slab.
-#[derive(Clone, Copy)]
-struct HeapEntry {
-    at: SimTime,
-    seq: u64,
-    slot: u32,
-}
-
-impl HeapEntry {
-    #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.at, self.seq)
-    }
-}
-
-/// A payload slot. `payload == None` means the event was cancelled (its
-/// heap entry is still in flight) or the slot is free. The firing time is
-/// mirrored here (not only in the heap entry) so non-mutating iteration
-/// never has to disambiguate stale heap entries from recycled slots.
-#[derive(Clone)]
-struct Slot<E> {
-    gen: u32,
-    at: SimTime,
-    payload: Option<E>,
-}
-
 /// A priority queue of timestamped events with stable FIFO tie-breaking
-/// and `O(1)` cancellation.
+/// and `O(1)` cancellation, backed by a hierarchical timing wheel with a
+/// heap overflow level (see the [module docs](self)).
 ///
 /// # Examples
 ///
@@ -88,17 +79,20 @@ struct Slot<E> {
 /// assert_eq!(q.pop(), Some((SimTime::from_micros(10), 'b')));
 /// assert!(q.is_empty());
 /// ```
-/// Cloning snapshots the queue verbatim — heap layout, slab generations,
-/// free list, and sequence counter — so a clone pops, cancels, and
-/// recycles slots exactly like the original, and outstanding
-/// [`EventKey`]s remain valid against the clone.
+/// Cloning snapshots the queue verbatim — wheel buckets and cursor, heap
+/// layout, slab generations, free list, and sequence counter — so a clone
+/// pops, cancels, and recycles slots exactly like the original, and
+/// outstanding [`EventKey`]s remain valid against the clone.
 #[derive(Clone)]
 pub struct EventQueue<E> {
-    heap: Vec<HeapEntry>,
-    slots: Vec<Slot<E>>,
-    free: Vec<u32>,
-    /// Number of pending (non-cancelled) events.
-    live: usize,
+    slab: Slab<E>,
+    wheel: Wheel,
+    /// Drain buffer: the entries of the wheel slot at the cursor, sorted
+    /// descending by `(at, seq)` so the next entry pops off the end.
+    /// Pushes targeting the cursor's slot insert here directly.
+    cur: Vec<HeapEntry>,
+    /// Events at/beyond the wheel horizon or behind the cursor.
+    overflow: EntryHeap,
     next_seq: u64,
 }
 
@@ -108,18 +102,14 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
-/// Heap arity: 4 keeps the tree shallow and the child scan within one or
-/// two cache lines of `HeapEntry`s.
-const ARITY: usize = 4;
-
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: Vec::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
-            live: 0,
+            slab: Slab::new(),
+            wheel: Wheel::new(),
+            cur: Vec::new(),
+            overflow: EntryHeap::new(),
             next_seq: 0,
         }
     }
@@ -128,29 +118,27 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, payload: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(i) => {
-                let s = &mut self.slots[i as usize];
-                debug_assert!(s.payload.is_none());
-                s.at = at;
-                s.payload = Some(payload);
-                i
+        let (slot, gen) = self.slab.alloc(at, payload);
+        let entry = HeapEntry { at, seq, slot };
+        let t = at.as_nanos();
+        let cursor = self.wheel.cursor;
+        if t < cursor {
+            // Behind the drain frontier: full queue semantics still hold,
+            // the heap serves as the underflow level too.
+            self.overflow.push(entry);
+        } else if (t >> SHIFT0) == (cursor >> SHIFT0) {
+            // The cursor's own slot: insert sorted into the drain buffer
+            // (descending, so the scan starts at the tail — a fresh push
+            // carries the largest `seq` and usually lands there).
+            let key = entry.key();
+            let mut i = self.cur.len();
+            while i > 0 && self.cur[i - 1].key() < key {
+                i -= 1;
             }
-            None => {
-                let i = self.slots.len() as u32;
-                assert!(i < u32::MAX, "event queue slot space exhausted");
-                self.slots.push(Slot {
-                    gen: 0,
-                    at,
-                    payload: Some(payload),
-                });
-                i
-            }
-        };
-        let gen = self.slots[slot as usize].gen;
-        self.heap.push(HeapEntry { at, seq, slot });
-        self.sift_up(self.heap.len() - 1);
-        self.live += 1;
+            self.cur.insert(i, entry);
+        } else if let Err(entry) = self.wheel.insert(entry) {
+            self.overflow.push(entry);
+        }
         EventKey::new(slot, gen)
     }
 
@@ -158,84 +146,171 @@ impl<E> EventQueue<E> {
     ///
     /// Returns `true` if the event was still pending; cancelling an already
     /// fired or already cancelled event returns `false` and is harmless.
-    /// The payload is dropped immediately; the heap entry surfaces (and is
-    /// discarded) lazily.
+    /// The payload is dropped immediately; the wheel/heap entry surfaces
+    /// (and is discarded) lazily.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        let i = key.slot();
-        match self.slots.get_mut(i) {
-            Some(s) if s.gen == key.gen() && s.payload.is_some() => {
-                s.payload = None;
-                self.live -= 1;
-                true
+        self.cancel_take(key).is_some()
+    }
+
+    /// [`cancel`](Self::cancel), but hands back the firing time and
+    /// payload of the cancelled event instead of dropping them — what the
+    /// sharded merge front uses to know whether a cached head died.
+    pub fn cancel_take(&mut self, key: EventKey) -> Option<(SimTime, E)> {
+        self.slab.cancel_take(key)
+    }
+
+    /// The minimum live entry on the wheel side, pruning dead entries and
+    /// refilling the drain buffer from the wheel as needed.
+    #[inline]
+    fn wheel_head(&mut self) -> Option<HeapEntry> {
+        loop {
+            while let Some(&entry) = self.cur.last() {
+                if self.slab.is_live(entry.slot) {
+                    return Some(entry);
+                }
+                self.cur.pop();
+                self.slab.release(entry.slot);
             }
-            _ => false,
+            if !self.wheel.take_next_slot(&mut self.cur) {
+                return None;
+            }
+            self.cur
+                .sort_unstable_by_key(|e| core::cmp::Reverse(e.key()));
+        }
+    }
+
+    /// The minimum live entry on the overflow heap, pruning dead roots.
+    #[inline]
+    fn overflow_head(&mut self) -> Option<HeapEntry> {
+        loop {
+            let entry = *self.overflow.first()?;
+            if self.slab.is_live(entry.slot) {
+                return Some(entry);
+            }
+            self.overflow.pop_entry();
+            self.slab.release(entry.slot);
+        }
+    }
+
+    /// The queue's minimum live entry and whether it sits on the overflow
+    /// heap (as opposed to the drain buffer).
+    #[inline]
+    fn head(&mut self) -> Option<(HeapEntry, bool)> {
+        match (self.wheel_head(), self.overflow_head()) {
+            (None, None) => None,
+            (Some(w), None) => Some((w, false)),
+            (None, Some(h)) => Some((h, true)),
+            (Some(w), Some(h)) => {
+                if h.key() < w.key() {
+                    Some((h, true))
+                } else {
+                    Some((w, false))
+                }
+            }
+        }
+    }
+
+    /// Pops the already-validated head off the side it lives on.
+    #[inline]
+    fn take_head(&mut self, from_overflow: bool) -> HeapEntry {
+        if from_overflow {
+            self.overflow.pop_entry().expect("validated head")
+        } else {
+            self.cur.pop().expect("validated head")
         }
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(top) = self.pop_entry() {
-            if let Some(payload) = self.release(top.slot) {
-                return Some((top.at, payload));
-            }
-            // Cancelled entry: its slot is now recycled, keep draining.
-        }
-        None
+        let (_, from_overflow) = self.head()?;
+        let entry = self.take_head(from_overflow);
+        let payload = self.slab.release(entry.slot).expect("head is live");
+        Some((entry.at, payload))
     }
 
     /// Removes and returns the earliest pending event if it fires at or
-    /// before `deadline` — the event loop's fused peek-then-pop, one heap
-    /// traversal per simulated event instead of two.
+    /// before `deadline` — the event loop's fused peek-then-pop. A cheap
+    /// occupancy lower bound rejects past-the-deadline calls without
+    /// draining, cascading, or reaping anything.
     pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        loop {
-            let top = self.heap.first()?;
-            if top.at > deadline {
-                // Cancelled entries past the deadline stay put; they are
-                // reaped when the frontier reaches them.
-                let slot = top.slot as usize;
-                if self.slots[slot].payload.is_some() {
+        let d = deadline.as_nanos();
+        let wheel_bound = match self.cur.last() {
+            Some(entry) => Some(entry.at.as_nanos()),
+            None => self.wheel.lower_bound(),
+        };
+        let heap_bound = self.overflow.first().map(|e| e.at.as_nanos());
+        match (wheel_bound, heap_bound) {
+            (None, None) => return None,
+            (w, h) => {
+                // Bounds may come from cancelled entries; they only ever
+                // under-estimate, so `bound > deadline` is a safe early
+                // out that leaves dead entries past the frontier in place.
+                if w.unwrap_or(u64::MAX).min(h.unwrap_or(u64::MAX)) > d {
                     return None;
                 }
-                let top = self.pop_entry().expect("non-empty");
-                self.release(top.slot);
-                continue;
-            }
-            let top = self.pop_entry().expect("non-empty");
-            if let Some(payload) = self.release(top.slot) {
-                return Some((top.at, payload));
             }
         }
+        let (head, from_overflow) = self.head()?;
+        if head.at > deadline {
+            return None;
+        }
+        let entry = self.take_head(from_overflow);
+        let payload = self.slab.release(entry.slot).expect("head is live");
+        Some((entry.at, payload))
     }
 
     /// The timestamp of the earliest pending event, if any.
+    ///
+    /// Takes `&mut self` because cancelled entries sitting at the drain
+    /// frontier are reaped (and their slots recycled) on the way; see
+    /// [`earliest`](Self::earliest) for the non-mutating variant.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        loop {
-            let top = self.heap.first()?;
-            if self.slots[top.slot as usize].payload.is_some() {
-                return Some(top.at);
-            }
-            // Drain cancelled entries off the top so the peek is accurate.
-            let top = self.pop_entry().expect("non-empty");
-            self.release(top.slot);
-        }
+        self.head().map(|(entry, _)| entry.at)
     }
 
     /// The earliest pending event without removing it.
     ///
-    /// Takes `&mut self` because cancelled entries sitting on top of the
-    /// heap are reaped on the way — the same lazy-drain `peek_time` does.
+    /// Takes `&mut self` for the same lazy-pruning reason as
+    /// [`peek_time`](Self::peek_time): cancelled entries at the frontier
+    /// are reaped so the returned head is exact. Callers that only need a
+    /// timestamp and cannot take `&mut` should use
+    /// [`earliest`](Self::earliest) instead of cloning the queue.
     pub fn peek(&mut self) -> Option<(SimTime, &E)> {
-        loop {
-            let top = self.heap.first()?;
-            if self.slots[top.slot as usize].payload.is_some() {
-                break;
-            }
-            let top = self.pop_entry().expect("non-empty");
-            self.release(top.slot);
+        let (entry, _) = self.head()?;
+        self.slab.payload_ref(entry.slot).map(|p| (entry.at, p))
+    }
+
+    /// The timestamp of the earliest pending event, without `&mut self`.
+    ///
+    /// The immutable companion to [`peek_time`](Self::peek_time): it
+    /// cannot reap cancelled entries, so when one sits at the drain
+    /// frontier the answer falls back to a full slab scan — `O(1)` when
+    /// the visible heads are live (the common case), `O(slots)` when a
+    /// cancellation just hit a head or the next wheel slot is undrained.
+    /// Validation passes and diagnostics should use this; the event loop
+    /// sticks with the mutating fast path.
+    pub fn earliest(&self) -> Option<SimTime> {
+        let wheel_min = match self.cur.last() {
+            Some(entry) if self.slab.is_live(entry.slot) => Some(entry.at),
+            Some(_) => return self.earliest_scan(),
+            None if self.wheel.count > 0 => return self.earliest_scan(),
+            None => None,
+        };
+        let heap_min = match self.overflow.first() {
+            Some(entry) if self.slab.is_live(entry.slot) => Some(entry.at),
+            Some(_) => return self.earliest_scan(),
+            None => None,
+        };
+        match (wheel_min, heap_min) {
+            (Some(w), Some(h)) => Some(w.min(h)),
+            (w, h) => w.or(h),
         }
-        let slot = self.heap[0].slot as usize;
-        let at = self.heap[0].at;
-        self.slots[slot].payload.as_ref().map(|p| (at, p))
+    }
+
+    /// Exact fallback for [`earliest`](Self::earliest): minimum over the
+    /// live slab entries.
+    fn earliest_scan(&self) -> Option<SimTime> {
+        self.slab.iter().map(|(t, _)| t).min()
     }
 
     /// Iterates over all pending events in unspecified order.
@@ -244,86 +319,17 @@ impl<E> EventQueue<E> {
     /// (e.g. "no pending event fires in the past"), not for dispatch —
     /// the order is slab order, not firing order.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> {
-        self.slots
-            .iter()
-            .filter_map(|s| s.payload.as_ref().map(|p| (s.at, p)))
+        self.slab.iter()
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live
+        self.slab.live()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
-    }
-
-    /// Takes the payload out of a surfaced slot and recycles the slot.
-    #[inline]
-    fn release(&mut self, slot: u32) -> Option<E> {
-        let s = &mut self.slots[slot as usize];
-        s.gen = s.gen.wrapping_add(1);
-        let payload = s.payload.take();
-        self.free.push(slot);
-        if payload.is_some() {
-            self.live -= 1;
-        }
-        payload
-    }
-
-    /// Pops the heap root (regardless of cancellation state).
-    #[inline]
-    fn pop_entry(&mut self) -> Option<HeapEntry> {
-        let last = self.heap.pop()?;
-        if self.heap.is_empty() {
-            return Some(last);
-        }
-        let top = core::mem::replace(&mut self.heap[0], last);
-        self.sift_down(0);
-        Some(top)
-    }
-
-    #[inline]
-    fn sift_up(&mut self, mut i: usize) {
-        let entry = self.heap[i];
-        while i > 0 {
-            let parent = (i - 1) / ARITY;
-            if self.heap[parent].key() <= entry.key() {
-                break;
-            }
-            self.heap[i] = self.heap[parent];
-            i = parent;
-        }
-        self.heap[i] = entry;
-    }
-
-    #[inline]
-    fn sift_down(&mut self, mut i: usize) {
-        let len = self.heap.len();
-        let entry = self.heap[i];
-        loop {
-            let first_child = i * ARITY + 1;
-            if first_child >= len {
-                break;
-            }
-            let mut best = first_child;
-            let mut best_key = self.heap[first_child].key();
-            let last_child = (first_child + ARITY).min(len);
-            for c in first_child + 1..last_child {
-                let k = self.heap[c].key();
-                if k < best_key {
-                    best = c;
-                    best_key = k;
-                }
-            }
-            if entry.key() <= best_key {
-                break;
-            }
-            self.heap[i] = self.heap[best];
-            i = best;
-        }
-        self.heap[i] = entry;
+        self.len() == 0
     }
 }
 
@@ -344,17 +350,35 @@ impl ShardKey {
     }
 }
 
-/// An [`EventQueue`] split into independent shards with a tiny merge
-/// front over the shard minima.
+/// The merge front's packed head key: `(time << 64) | gseq`. Unique per
+/// event (`gseq` is unique), totally ordered like `(time, gseq)`, and one
+/// branchless `u128` compare instead of a tuple compare.
+#[inline]
+fn pack(at: SimTime, gseq: u64) -> u128 {
+    ((at.as_nanos() as u128) << 64) | gseq as u128
+}
+
+/// Head-cache sentinel for an empty shard. Unreachable by [`pack`]: it
+/// would need `gseq == u64::MAX`, which a per-push counter never hits.
+const EMPTY_HEAD: u128 = u128::MAX;
+
+/// An [`EventQueue`] split into independent shards with a branchless
+/// merge front over cached shard minima.
 ///
 /// Pushers route each event to a caller-chosen shard (the hypervisor uses
 /// one shard per cpupool plus one for machine-global timers), which keeps
-/// each underlying 4-ary heap's working set small on large `num_pcpus`
-/// sweeps. Popping compares the shard heads by `(time, global_seq)` — the
-/// global sequence number is stamped at push — so the pop order is
-/// **bit-identical to a single unsharded queue** no matter how events are
-/// distributed over shards. FIFO tie-break at equal timestamps therefore
-/// holds across shards, not just within one.
+/// each underlying wheel-and-slab's working set small on large
+/// `num_pcpus` sweeps. Popping compares the shard heads by
+/// `(time, global_seq)` — the global sequence number is stamped at push —
+/// so the pop order is **bit-identical to a single unsharded queue** no
+/// matter how events are distributed over shards. FIFO tie-break at equal
+/// timestamps therefore holds across shards, not just within one.
+///
+/// The shard minima are cached as packed `(time << 64) | gseq` keys: a
+/// pop compares three `u128`s branchlessly instead of re-peeking every
+/// shard, a push refreshes its shard's key with one compare, and only a
+/// cancellation that kills a cached head forces a re-peek (the cache
+/// entry goes *dirty* and is recomputed at the next pop).
 ///
 /// # Examples
 ///
@@ -372,27 +396,36 @@ impl ShardKey {
 /// assert!(q.is_empty());
 /// ```
 ///
-/// Cloning preserves every shard's slab and the global sequence counter,
-/// so a clone's pop order (and any outstanding [`ShardKey`]s) match the
-/// original exactly — the property the machine snapshot/fork path relies
-/// on.
+/// Cloning preserves every shard's state, the head cache, and the global
+/// sequence counter, so a clone's pop order (and any outstanding
+/// [`ShardKey`]s) match the original exactly — the property the machine
+/// snapshot/fork path relies on.
 #[derive(Clone)]
 pub struct ShardedEventQueue<E> {
     /// Payloads wrapped with their global push sequence; the wrapper is
     /// what lets the merge front reconstruct the single-queue total order.
     shards: Vec<EventQueue<(u64, E)>>,
+    /// Per-shard cached minimum as a packed key; [`EMPTY_HEAD`] when the
+    /// shard is empty. When a shard's `dirty` bit is set the cached value
+    /// is only a lower bound (its event was cancelled).
+    heads: Vec<u128>,
+    /// Bitmask of shards whose cached head must be re-peeked.
+    dirty: u64,
     next_gseq: u64,
 }
 
 impl<E> ShardedEventQueue<E> {
-    /// Creates a queue with `num_shards` independent shards (1..=255).
+    /// Creates a queue with `num_shards` independent shards (1..=64; the
+    /// bound is the head-cache dirty bitmask width).
     pub fn new(num_shards: usize) -> Self {
         assert!(
-            (1..=255).contains(&num_shards),
-            "shard count must be in 1..=255, got {num_shards}"
+            (1..=64).contains(&num_shards),
+            "shard count must be in 1..=64, got {num_shards}"
         );
         ShardedEventQueue {
             shards: (0..num_shards).map(|_| EventQueue::new()).collect(),
+            heads: vec![EMPTY_HEAD; num_shards],
+            dirty: 0,
             next_gseq: 0,
         }
     }
@@ -410,6 +443,14 @@ impl<E> ShardedEventQueue<E> {
         let gseq = self.next_gseq;
         self.next_gseq += 1;
         let key = self.shards[shard].push(at, (gseq, payload));
+        let packed = pack(at, gseq);
+        if packed < self.heads[shard] {
+            // Strictly below the cached value — which is a lower bound on
+            // every other entry even when dirty — so the new event is the
+            // exact live minimum and the cache is clean again.
+            self.heads[shard] = packed;
+            self.dirty &= !(1 << shard);
+        }
         ShardKey {
             shard: shard as u8,
             key,
@@ -419,45 +460,113 @@ impl<E> ShardedEventQueue<E> {
     /// Cancels a previously scheduled event in `O(1)`, routing by the
     /// shard id embedded in the key. Stale keys return `false`.
     pub fn cancel(&mut self, key: ShardKey) -> bool {
-        self.shards[key.shard as usize].cancel(key.key)
+        let shard = key.shard as usize;
+        match self.shards[shard].cancel_take(key.key) {
+            Some((at, (gseq, _payload))) => {
+                if pack(at, gseq) == self.heads[shard] {
+                    // The cached head died; its value stays as a lower
+                    // bound until the next pop re-peeks the shard.
+                    self.dirty |= 1 << shard;
+                }
+                true
+            }
+            None => false,
+        }
     }
 
-    /// Index of the shard holding the globally earliest pending event,
-    /// by `(time, global_seq)`. Reaps cancelled shard heads on the way.
+    /// Re-peeks every dirty shard so all cached heads are exact.
+    #[cold]
+    fn refresh_dirty(&mut self) {
+        let mut pending = self.dirty;
+        while pending != 0 {
+            let shard = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            self.refresh_head(shard);
+        }
+    }
+
+    /// Recomputes one shard's cached head from its live minimum.
     #[inline]
-    fn best_shard(&mut self) -> Option<usize> {
-        let mut best: Option<(SimTime, u64, usize)> = None;
-        for i in 0..self.shards.len() {
-            if let Some((at, &(gseq, _))) = self.shards[i].peek() {
-                if best.is_none_or(|(bt, bs, _)| (at, gseq) < (bt, bs)) {
-                    best = Some((at, gseq, i));
+    fn refresh_head(&mut self, shard: usize) {
+        self.heads[shard] = match self.shards[shard].peek() {
+            Some((at, &(gseq, _))) => pack(at, gseq),
+            None => EMPTY_HEAD,
+        };
+        self.dirty &= !(1 << shard);
+    }
+
+    /// Index and packed key of the shard holding the globally earliest
+    /// pending event; the key is [`EMPTY_HEAD`] iff the queue is empty.
+    #[inline]
+    fn best_shard(&mut self) -> (usize, u128) {
+        if self.dirty != 0 {
+            self.refresh_dirty();
+        }
+        match *self.heads.as_slice() {
+            // The hypervisor's three-pool layout: branchless 3-way min
+            // over the packed keys, no re-peeking.
+            [h0, h1, h2] => {
+                let first = (h1 < h0) as usize;
+                let first_min = if h1 < h0 { h1 } else { h0 };
+                if h2 < first_min {
+                    (2, h2)
+                } else {
+                    (first, first_min)
                 }
             }
+            _ => {
+                let mut best = (0, self.heads[0]);
+                for (i, &h) in self.heads.iter().enumerate().skip(1) {
+                    if h < best.1 {
+                        best = (i, h);
+                    }
+                }
+                best
+            }
         }
-        best.map(|(_, _, i)| i)
     }
 
     /// Removes and returns the globally earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let shard = self.best_shard()?;
-        self.shards[shard].pop().map(|(t, (_, p))| (t, p))
+        let (shard, head) = self.best_shard();
+        if head == EMPTY_HEAD {
+            return None;
+        }
+        let (at, (_, payload)) = self.shards[shard].pop().expect("cached head is live");
+        self.refresh_head(shard);
+        Some((at, payload))
     }
 
     /// Removes and returns the globally earliest pending event if it
     /// fires at or before `deadline` — the sharded counterpart of
-    /// [`EventQueue::pop_at_or_before`].
+    /// [`EventQueue::pop_at_or_before`]. The deadline check runs on the
+    /// cached head key, so a past-the-deadline call touches no shard.
     pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
-        let shard = self.best_shard()?;
-        // best_shard already reaped cancelled heads, so this head is live.
-        self.shards[shard]
-            .pop_at_or_before(deadline)
-            .map(|(t, (_, p))| (t, p))
+        let (shard, head) = self.best_shard();
+        if head == EMPTY_HEAD || (head >> 64) as u64 > deadline.as_nanos() {
+            return None;
+        }
+        let (at, (_, payload)) = self.shards[shard].pop().expect("cached head is live");
+        self.refresh_head(shard);
+        Some((at, payload))
     }
 
     /// The timestamp of the globally earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        let shard = self.best_shard()?;
-        self.shards[shard].peek_time()
+        let (_, head) = self.best_shard();
+        if head == EMPTY_HEAD {
+            None
+        } else {
+            Some(SimTime::from_nanos((head >> 64) as u64))
+        }
+    }
+
+    /// The timestamp of the globally earliest pending event, without
+    /// `&mut self` — the sharded [`EventQueue::earliest`], with the same
+    /// contract: exact, but falls back to slab scans where a mutating
+    /// peek would have pruned.
+    pub fn earliest(&self) -> Option<SimTime> {
+        self.shards.iter().filter_map(|s| s.earliest()).min()
     }
 
     /// Iterates over all pending events in unspecified order — validation
@@ -553,6 +662,22 @@ mod tests {
     }
 
     #[test]
+    fn earliest_matches_peek_time_without_mut() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.earliest(), None);
+        let a = q.push(SimTime::from_micros(1), 'a');
+        q.push(SimTime::from_micros(5), 'b');
+        q.push(SimTime::from_secs(30), 'c'); // overflow heap
+        assert_eq!(q.earliest(), Some(SimTime::from_micros(1)));
+        // A cancelled head forces the slow path; the answer stays exact.
+        q.cancel(a);
+        assert_eq!(q.earliest(), Some(SimTime::from_micros(5)));
+        assert_eq!(q.earliest(), q.peek_time());
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), 'b')));
+        assert_eq!(q.earliest(), Some(SimTime::from_secs(30)));
+    }
+
+    #[test]
     fn pop_at_or_before_respects_deadline() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_micros(10), 'a');
@@ -594,7 +719,7 @@ mod tests {
         q.push(SimTime::from_micros(2), 'b');
         q.push(SimTime::from_micros(3), 'c');
         q.cancel(a);
-        // Recycle a's slot at a different time: the stale heap entry must
+        // Recycle a's slot at a different time: the stale wheel entry must
         // not resurface the old timestamp through iteration.
         assert_eq!(q.pop(), Some((SimTime::from_micros(2), 'b')));
         q.push(SimTime::from_micros(9), 'd');
@@ -621,6 +746,36 @@ mod tests {
         assert_eq!(q.peek(), Some((SimTime::from_micros(5), &'b')));
         assert_eq!(q.pop(), Some((SimTime::from_micros(5), 'b')));
         assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_pop_in_order() {
+        // Beyond the ~4.29 s wheel horizon events live on the heap; they
+        // still interleave correctly with wheel-resident events.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), 'd');
+        q.push(SimTime::from_micros(5), 'a');
+        q.push(SimTime::from_secs(5), 'c');
+        q.push(SimTime::from_millis(40), 'b');
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), 'a')));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(40), 'b')));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(5), 'c')));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), 'd')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pushes_behind_the_drain_frontier_pop_first() {
+        // Popping an event advances the wheel cursor; a later push at an
+        // earlier time (allowed by the priority-queue contract) takes the
+        // underflow path and must still pop before everything later.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), 'b');
+        q.push(SimTime::from_millis(9), 'c');
+        assert_eq!(q.pop(), Some((SimTime::from_millis(5), 'b')));
+        q.push(SimTime::from_micros(1), 'a');
+        assert_eq!(q.pop(), Some((SimTime::from_micros(1), 'a')));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(9), 'c')));
     }
 
     #[test]
@@ -669,6 +824,21 @@ mod tests {
         );
         assert_eq!(q.pop_at_or_before(SimTime::from_micros(25)), None);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(30)));
+    }
+
+    #[test]
+    fn sharded_cancel_of_cached_head_stays_exact() {
+        // Cancelling the event the merge front cached must not mask the
+        // shard's next event or resurrect the dead one.
+        let mut q = ShardedEventQueue::new(3);
+        let a = q.push(0, SimTime::from_micros(1), 'a');
+        q.push(0, SimTime::from_micros(4), 'b');
+        q.push(1, SimTime::from_micros(2), 'c');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(2), 'c')));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(4), 'b')));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
@@ -736,8 +906,8 @@ mod tests {
         }
 
         /// Interleaved push/pop/cancel against a naive reference model:
-        /// the slab + 4-ary heap must agree with a sorted-vec simulation
-        /// of the same operation sequence, including `len`.
+        /// the slab + wheel + overflow heap must agree with a sorted-vec
+        /// simulation of the same operation sequence, including `len`.
         #[test]
         fn prop_matches_reference_model(
             ops in proptest::collection::vec((0u16..4, 0u64..500), 1..300),
@@ -782,6 +952,59 @@ mod tests {
                     }
                 }
                 prop_assert_eq!(q.len(), model.len());
+            }
+        }
+
+        /// The reference-model property again, over horizons that land
+        /// events in every wheel level *and* the overflow heap (times up
+        /// to ~8.6 s against a ~4.29 s horizon), with `earliest` checked
+        /// against the model each step.
+        #[test]
+        fn prop_matches_reference_model_all_levels(
+            ops in proptest::collection::vec(
+                (0u16..4, 0u64..8_589_934_592u64), 1..200,
+            ),
+        ) {
+            let mut q = EventQueue::new();
+            let mut model: Vec<(u64, u64, u64)> = Vec::new();
+            let mut keys: Vec<(u64, EventKey)> = Vec::new();
+            let mut next_id = 0u64;
+            for (op, t) in ops {
+                match op {
+                    0 | 1 => {
+                        let key = q.push(SimTime::from_nanos(t), next_id);
+                        model.push((t, next_id, next_id));
+                        keys.push((next_id, key));
+                        next_id += 1;
+                    }
+                    2 => {
+                        model.sort_unstable();
+                        let expected = if model.is_empty() {
+                            None
+                        } else {
+                            let (t, _, id) = model.remove(0);
+                            Some((SimTime::from_nanos(t), id))
+                        };
+                        prop_assert_eq!(q.pop(), expected);
+                    }
+                    _ => {
+                        if !keys.is_empty() {
+                            let pick = (t as usize) % keys.len();
+                            let (id, key) = keys.swap_remove(pick);
+                            let in_model = model.iter().position(|&(_, _, mid)| mid == id);
+                            let expect = in_model.is_some();
+                            if let Some(pos) = in_model {
+                                model.swap_remove(pos);
+                            }
+                            prop_assert_eq!(q.cancel(key), expect);
+                        }
+                    }
+                }
+                prop_assert_eq!(q.len(), model.len());
+                prop_assert_eq!(
+                    q.earliest(),
+                    model.iter().map(|&(t, _, _)| SimTime::from_nanos(t)).min()
+                );
             }
         }
 

@@ -1,4 +1,4 @@
-//! The determinism & poisoning rules (D1–D5) and their matching engine.
+//! The determinism & poisoning rules (D1–D6) and their matching engine.
 //!
 //! Each rule is a set of token patterns plus a *scope*: the crates it
 //! applies to and the files that are exempt. Matching runs over the
@@ -12,7 +12,7 @@
 //! comment block directly above it:
 //!
 //! - `PANIC-OK(<reason>)` after `//` — suppresses D4 only;
-//! - `SIMLINT: <reason>` after `//` — suppresses D1/D2/D3/D5.
+//! - `SIMLINT: <reason>` after `//` — suppresses D1/D2/D3/D5/D6.
 //!
 //! The tag must open the comment line (prose that merely mentions a tag
 //! mid-sentence is ignored), and the reason must be non-empty — a tag
@@ -24,7 +24,7 @@ use crate::lexer::{lex, Token, TokenKind};
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`D1`..`D5`, `J0`).
+    /// Rule identifier (`D1`..`D6`, `J0`).
     pub rule: &'static str,
     /// Workspace-relative path of the file.
     pub path: String,
@@ -62,6 +62,12 @@ enum Pat {
     Method(&'static str),
     /// `name!` — a macro invocation.
     Macro(&'static str),
+    /// Like [`Pat::Seq`] but with arbitrary tokens allowed *between*
+    /// items, constrained to a single source line. `&["+=", "f64"]`
+    /// matches `self.mean += delta / self.count as f64;` — the `+=`
+    /// itself is still matched contiguously (each item is), only the
+    /// gaps between items are free.
+    Line(&'static [&'static str]),
 }
 
 struct RuleDef {
@@ -77,6 +83,11 @@ struct RuleDef {
 
 /// The sim-logic crates wall-clock reads are banned from (D1).
 const SIM_CRATES: &[&str] = &["simcore", "hypervisor", "guest", "workloads"];
+
+/// The crates whose `f64` state is simulation-reachable (D6): the sim
+/// logic crates plus `metrics`, whose accumulators are folded into
+/// rendered experiment output.
+const FLOAT_CRATES: &[&str] = &["simcore", "hypervisor", "guest", "workloads", "metrics"];
 
 const RULES: &[RuleDef] = &[
     RuleDef {
@@ -150,6 +161,32 @@ const RULES: &[RuleDef] = &[
         just: JustKind::Simlint,
         hint: "ad-hoc threads and channels race the index-ordered commit discipline; \
                only runner::pool, runner::parallel and the watchdog manage threads",
+    },
+    RuleDef {
+        id: "D6",
+        crates: Some(FLOAT_CRATES),
+        allow: &[],
+        pats: &[
+            // Turbofish float reductions: `.sum::<f64>()` etc.
+            Pat::Seq(&[".", "sum", "::", "<", "f64"]),
+            Pat::Seq(&[".", "sum", "::", "<", "f32"]),
+            Pat::Seq(&[".", "product", "::", "<", "f64"]),
+            Pat::Seq(&[".", "product", "::", "<", "f32"]),
+            // Annotated float reductions: `let t: f64 = xs.iter().sum();`
+            Pat::Line(&["f64", "=", "sum"]),
+            Pat::Line(&["f64", "=", "product"]),
+            Pat::Line(&["f32", "=", "sum"]),
+            Pat::Line(&["f32", "=", "product"]),
+            // In-place float accumulation: `acc += x as f64;`
+            Pat::Line(&["+=", "f64"]),
+            Pat::Line(&["-=", "f64"]),
+            Pat::Line(&["+=", "f32"]),
+            Pat::Line(&["-=", "f32"]),
+        ],
+        just: JustKind::Simlint,
+        hint: "float addition is not associative, so an f64 accumulation is only \
+               deterministic if its fold order is; sum in integer nanoseconds, or \
+               justify why the iteration order provably never varies",
     },
 ];
 
@@ -339,25 +376,49 @@ fn match_pat(src: &str, code: &[&Token], i: usize, pat: &Pat) -> Option<usize> {
         Pat::Seq(items) => {
             let mut j = i;
             for item in *items {
-                if item.chars().all(|c| c.is_ascii_punctuation()) {
-                    // Punctuation run: match char by char.
-                    for ch in item.chars() {
-                        let t = code.get(j)?;
-                        if !(t.kind == TokenKind::Punct && t.text(src) == ch.to_string()) {
-                            return None;
-                        }
-                        j += 1;
-                    }
-                } else {
+                j += match_item(src, code, j, item)?;
+            }
+            Some(j - i)
+        }
+        Pat::Line(items) => {
+            let line = tok.line;
+            let (first, rest) = items.split_first()?;
+            let mut j = i + match_item(src, code, i, first)?;
+            for item in rest {
+                // Skip forward to the item, staying on the first
+                // item's source line.
+                loop {
                     let t = code.get(j)?;
-                    if !(t.kind == TokenKind::Ident && t.text(src) == *item) {
+                    if t.line != line {
                         return None;
+                    }
+                    if let Some(n) = match_item(src, code, j, item) {
+                        j += n;
+                        break;
                     }
                     j += 1;
                 }
             }
             Some(j - i)
         }
+    }
+}
+
+/// Matches one [`Pat::Seq`]/[`Pat::Line`] item at `code[j]`: an
+/// all-punctuation item char by char against consecutive punct tokens,
+/// anything else as a single identifier. Returns the tokens consumed.
+fn match_item(src: &str, code: &[&Token], j: usize, item: &str) -> Option<usize> {
+    if item.chars().all(|c| c.is_ascii_punctuation()) {
+        for (k, ch) in item.chars().enumerate() {
+            let t = code.get(j + k)?;
+            if !(t.kind == TokenKind::Punct && t.text(src) == ch.to_string()) {
+                return None;
+            }
+        }
+        Some(item.chars().count())
+    } else {
+        let t = code.get(j)?;
+        (t.kind == TokenKind::Ident && t.text(src) == item).then_some(1)
     }
 }
 

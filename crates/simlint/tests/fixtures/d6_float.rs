@@ -1,0 +1,31 @@
+pub fn turbofish_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+pub fn annotated_sum(xs: &[f64]) -> f64 {
+    let total: f64 = xs.iter().copied().sum();
+    total
+}
+
+pub struct Acc {
+    mean: f64,
+    count: u64,
+}
+
+impl Acc {
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.mean += (x - self.mean) / self.count as f64;
+    }
+}
+
+pub fn integer_sums_are_fine(xs: &[u64]) -> u64 {
+    let ticks: u64 = xs.iter().sum();
+    self_count(ticks)
+}
+
+fn self_count(t: u64) -> u64 {
+    // A cast on its own line is not an accumulation.
+    let scaled = t as f64;
+    scaled as u64
+}

@@ -65,6 +65,33 @@ fn d5_ad_hoc_threads_and_channels() {
 }
 
 #[test]
+fn d6_float_accumulation() {
+    let src = include_str!("fixtures/d6_float.rs");
+    assert_eq!(
+        hits(SIM_PATH, src),
+        [("D6", 2, 14), ("D6", 6, 16), ("D6", 18, 19)]
+    );
+    // D6 covers metrics (its accumulators feed rendered output)...
+    assert_eq!(
+        hits("crates/metrics/src/fixture.rs", src),
+        [("D6", 2, 14), ("D6", 6, 16), ("D6", 18, 19)]
+    );
+    // ...but not the host-side runner/bench crates.
+    assert!(hits("crates/experiments/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn d6_line_patterns_stay_on_one_line() {
+    // The `+=` and the cast sit on different lines: no accumulation of
+    // a float on either line, so the line-local pattern must not fire.
+    let src = "fn f(a: &mut u64, b: u64) {\n    *a += b;\n    let _ = b as f64;\n}\n";
+    assert!(hits(SIM_PATH, src).is_empty());
+    // Same tokens on one line: fires.
+    let src = "fn f(a: &mut f64, b: u64) {\n    *a += b as f64;\n}\n";
+    assert_eq!(hits(SIM_PATH, src), [("D6", 2, 8)]);
+}
+
+#[test]
 fn justified_fixture_is_silent() {
     let src = include_str!("fixtures/justified.rs");
     assert!(hits(HV_PATH, src).is_empty());

@@ -14,7 +14,7 @@ echo "== build (release) ==" >&2
 cargo build --release
 
 echo "== simlint (determinism & poisoning rules) ==" >&2
-# The D1-D5 gate (see DESIGN.md §4.9). Fails on any finding not covered
+# The D1-D6 gate (see DESIGN.md §4.9). Fails on any finding not covered
 # by the checked-in simlint.allow baseline and on stale baseline entries.
 # After an intentional, justified addition, regenerate the baseline with
 #   cargo run -p simlint --release -- --workspace --write-baseline
@@ -94,41 +94,65 @@ echo "== fault-fuzz smoke (fixed seeds) ==" >&2
 # fault-fuzz corpus, not a flaky random one.
 cargo test --release -p experiments --test fault_injection -q
 
+echo "== wheel-vs-heap differential smoke (fixed seeds) ==" >&2
+# The timing-wheel queue against the retained heap reference backend:
+# ~100 seeded op streams (push/pop/cancel/deadline-pop across all wheel
+# levels), flat and sharded, asserting len/peek/pop agreement each step.
+# Deterministic seeds, so a failure here is a real wheel bug, never flake.
+cargo test --release -p experiments --test wheel_vs_heap -q
+
 echo "== bench smoke (hot paths within 25% of committed baseline) ==" >&2
 # Re-measure the two load-bearing hot-path benchmarks with a short window
 # and compare each against the *last* committed row of the same name in
 # BENCH_hotpaths.json; >25% slower fails the gate. Short windows are
 # noisy-but-cheap: real regressions of the kind this guards against
-# (accidental O(n) in the heap, a lost inline) blow far past 25%.
+# (accidental O(n) in the queue, a lost inline) blow far past 25%.
 # Minima are compared, not means: host preemption only ever adds time,
 # so the mean swings 10-15% run-to-run on an unchanged build (the
 # pr4->pr5 "drift" was exactly this) while min-of-N stays put.
+#
+# The comparison is host-speed-normalized: `calibration_spin` is a fixed
+# pure-integer workload whose minimum tracks only the executing core's
+# effective speed, so the gate compares
+#     fresh_min / fresh_calibration  vs  committed_min / committed_calibration
+# instead of raw nanoseconds. A CI host running at a different clock (or
+# a laptop on battery) shifts both numerator and denominator together
+# and the ratio stays put; a real code regression moves only the
+# numerator (the pr6->pr7 push_pop "regression" was half host drift).
 smoke_json="$(mktemp)"
 BENCH_JSON="$smoke_json" BENCH_LABEL=smoke BENCH_MEASURE_SECS=1 \
-    scripts/bench.sh event_queue_push_pop_1k simulate_one_second_baseline >/dev/null
+    scripts/bench.sh calibration_spin event_queue_push_pop_1k simulate_one_second_baseline >/dev/null
+last_min() {
+    awk -v name="$2" '
+        index($0, "\"name\":\"" name "\"") {
+            split($0, parts, "\"min_ns\":")
+            split(parts[2], num, ",")
+            min = num[1]
+        }
+        END { print min }
+    ' "$1"
+}
+committed_cal="$(last_min BENCH_hotpaths.json calibration_spin)"
+fresh_cal="$(last_min "$smoke_json" calibration_spin)"
 for name in event_queue_push_pop_1k simulate_one_second_baseline; do
-    last_min() {
-        awk -v name="$name" '
-            index($0, "\"name\":\"" name "\"") {
-                split($0, parts, "\"min_ns\":")
-                split(parts[2], num, ",")
-                min = num[1]
-            }
-            END { print min }
-        ' "$1"
-    }
-    committed="$(last_min BENCH_hotpaths.json)"
-    fresh="$(last_min "$smoke_json")"
-    awk -v committed="$committed" -v fresh="$fresh" -v name="$name" 'BEGIN {
-        if (committed == "" || fresh == "") {
-            printf "bench smoke: no %s row (committed=%s fresh=%s)\n", name, committed, fresh > "/dev/stderr"
+    committed="$(last_min BENCH_hotpaths.json "$name")"
+    fresh="$(last_min "$smoke_json" "$name")"
+    awk -v committed="$committed" -v fresh="$fresh" \
+        -v ccal="$committed_cal" -v fcal="$fresh_cal" -v name="$name" 'BEGIN {
+        if (committed == "" || fresh == "" || ccal == "" || fcal == "") {
+            printf "bench smoke: missing row (name=%s committed=%s fresh=%s committed_cal=%s fresh_cal=%s)\n", \
+                name, committed, fresh, ccal, fcal > "/dev/stderr"
             exit 1
         }
-        if (fresh + 0 > (committed + 0) * 1.25) {
-            printf "bench smoke: %s regressed >25%%: min %.0f ns vs committed min %.0f ns\n", name, fresh, committed > "/dev/stderr"
+        committed_ratio = (committed + 0) / (ccal + 0)
+        fresh_ratio = (fresh + 0) / (fcal + 0)
+        if (fresh_ratio > committed_ratio * 1.25) {
+            printf "bench smoke: %s regressed >25%% normalized: min %.0f ns (ratio %.3f) vs committed min %.0f ns (ratio %.3f)\n", \
+                name, fresh, fresh_ratio, committed, committed_ratio > "/dev/stderr"
             exit 1
         }
-        printf "bench smoke: %s ok (min %.0f ns vs committed min %.0f ns)\n", name, fresh, committed > "/dev/stderr"
+        printf "bench smoke: %s ok (min %.0f ns, ratio %.3f vs committed %.3f)\n", \
+            name, fresh, fresh_ratio, committed_ratio > "/dev/stderr"
     }'
 done
 rm -f "$smoke_json"

@@ -402,6 +402,141 @@ fn three_shard_queue_matches_flat_queue() {
 }
 
 // ---------------------------------------------------------------------
+// Timing-wheel cascade boundaries.
+// ---------------------------------------------------------------------
+//
+// The wheel's level geometry (see `simcore::event::wheel` and DESIGN.md
+// §4.10): level 0 slots are 2^12 ns, level 1 slots 2^20 ns, level 2
+// slots 2^26 ns, horizon 2^32 ns. Events landing *exactly on* a slot or
+// level boundary are the cases where an off-by-one in the cascade logic
+// strands or reorders entries (the level-2-boundary cascade bug this
+// suite's differential cousin caught during development lived exactly
+// here), so they get directed tests rather than relying on random fuzz
+// to land on a power of two.
+
+/// One level-1 slot in nanoseconds (2^20).
+const L1_SLOT: u64 = 1 << 20;
+/// One level-2 slot in nanoseconds (2^26).
+const L2_SLOT: u64 = 1 << 26;
+/// The wheel horizon in nanoseconds (2^32); at or beyond this delta the
+/// queue spills to the overflow heap.
+const HORIZON: u64 = 1 << 32;
+
+/// Pushes events exactly on (and one nanosecond around) every level
+/// boundary, plus one at the horizon itself, and checks the drain order
+/// against the retained heap reference backend.
+#[test]
+fn wheel_level_rollover_boundaries_pop_in_order() {
+    use simcore::event::HeapEventQueue;
+    let mut wheel: EventQueue<u64> = EventQueue::new();
+    let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+    let mut times = Vec::new();
+    for base in [L1_SLOT, L2_SLOT, HORIZON] {
+        for k in [1u64, 2, 3, 63, 64, 65] {
+            let center = base.saturating_mul(k);
+            for t in [center - 1, center, center + 1] {
+                times.push(t);
+            }
+        }
+    }
+    times.push(0); // zero-delta on an empty, never-advanced queue
+    for (i, &t) in times.iter().enumerate() {
+        let at = SimTime::from_nanos(t);
+        wheel.push(at, i as u64);
+        heap.push(at, i as u64);
+    }
+    loop {
+        assert_eq!(wheel.peek_time(), heap.peek_time(), "peek at boundary");
+        let (a, b) = (wheel.pop(), heap.pop());
+        assert_eq!(a, b, "boundary drain diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+}
+
+/// Zero-delta pushes: after the cursor has advanced mid-stream, a push
+/// at exactly the frontier time (and one behind it) must still pop
+/// before every later event, in push order within the tie.
+#[test]
+fn zero_delta_pushes_at_the_drain_frontier_pop_first() {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for i in 0..64u64 {
+        q.push(SimTime::from_nanos(i * L1_SLOT), i);
+    }
+    // Advance the frontier deep into the wheel.
+    for _ in 0..32 {
+        q.pop();
+    }
+    let frontier = q.peek_time().expect("events remain");
+    // Push at exactly the frontier, one behind it (underflow), and one
+    // zero-delta pair that must preserve FIFO order within the tie.
+    q.push(frontier, 1_000);
+    q.push(frontier, 1_001);
+    let behind = SimTime::from_nanos(frontier.as_nanos() - 1);
+    q.push(behind, 2_000);
+    let mut drained = Vec::new();
+    while let Some((t, v)) = q.pop() {
+        drained.push((t.as_nanos(), v));
+    }
+    assert_eq!(drained[0], (behind.as_nanos(), 2_000));
+    // The frontier tie: the original event 32 was pushed first, then the
+    // two zero-delta arrivals, in order.
+    assert_eq!(drained[1], (frontier.as_nanos(), 32));
+    assert_eq!(drained[2], (frontier.as_nanos(), 1_000));
+    assert_eq!(drained[3], (frontier.as_nanos(), 1_001));
+    let rest: Vec<u64> = drained[4..].iter().map(|&(_, v)| v).collect();
+    assert_eq!(rest, (33..64).collect::<Vec<u64>>());
+}
+
+/// Cancel-then-repush into the same wheel slot: the cancelled key must
+/// stay dead (double-cancel misses), the repushed event must pop at its
+/// time, and a cancel of a just-cascaded head must not disturb order.
+#[test]
+fn cancel_then_repush_same_slot_keeps_order() {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    // Three events in the same level-2 slot, one level-1 neighbor.
+    let t0 = SimTime::from_nanos(3 * L2_SLOT + 17);
+    let t1 = SimTime::from_nanos(3 * L2_SLOT + 17); // same slot, tie
+    let t2 = SimTime::from_nanos(3 * L2_SLOT + 5 * L1_SLOT);
+    let near = SimTime::from_nanos(L1_SLOT / 2);
+    let k0 = q.push(t0, 10);
+    let _k1 = q.push(t1, 11);
+    let k2 = q.push(t2, 12);
+    q.push(near, 13);
+    // Cancel the first of the tied pair, then repush at the same time:
+    // the repush lands in the same slot with a fresh seq, so it pops
+    // *after* the surviving tie.
+    assert!(q.cancel(k0));
+    assert!(!q.cancel(k0), "double cancel must miss");
+    q.push(t0, 14);
+    // Cancel-then-repush of the far entry too, across a pop that forces
+    // the first cascade.
+    assert_eq!(q.pop(), Some((near, 13)));
+    assert!(q.cancel(k2));
+    q.push(t2, 15);
+    let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, v)| v).collect();
+    assert_eq!(order, vec![11, 14, 15]);
+}
+
+/// The sharded queue under the same boundary stream: cancelling a cached
+/// merge-front head exactly on a level boundary must re-derive the next
+/// head correctly (the dirty-bit lower-bound path).
+#[test]
+fn sharded_cancel_on_level_boundary_rederives_head() {
+    let mut q: ShardedEventQueue<u64> = ShardedEventQueue::new(3);
+    let head = q.push(0, SimTime::from_nanos(L2_SLOT), 1);
+    q.push(1, SimTime::from_nanos(L2_SLOT + 1), 2);
+    q.push(2, SimTime::from_nanos(2 * L2_SLOT), 3);
+    assert_eq!(q.peek_time(), Some(SimTime::from_nanos(L2_SLOT)));
+    assert!(q.cancel(head));
+    assert_eq!(q.peek_time(), Some(SimTime::from_nanos(L2_SLOT + 1)));
+    assert_eq!(q.pop(), Some((SimTime::from_nanos(L2_SLOT + 1), 2)));
+    assert_eq!(q.pop(), Some((SimTime::from_nanos(2 * L2_SLOT), 3)));
+    assert_eq!(q.pop(), None);
+}
+
+// ---------------------------------------------------------------------
 // End-to-end: fig4 and table2 quick grids.
 // ---------------------------------------------------------------------
 
