@@ -14,6 +14,8 @@
 //! Run with `cargo bench --workspace`; each bench prints its regenerated
 //! rows once before Criterion starts timing.
 
+#![warn(missing_docs)]
+
 /// Standard Criterion tuning for whole-simulation benches: a bounded
 /// measurement window (each iteration simulates seconds) and enough
 /// samples for a stable min-of-N. Comparisons across runs should use

@@ -7,8 +7,20 @@
 //!       [--resume] [--ledger PATH] <experiment>...
 //! repro all
 //! repro cell <experiment> --cell B:I [--seed N] [--faults SPEC] ...
+//! repro --scenario FILE [options]
+//! repro scenarios DIR [--check] [options]
 //! repro list
 //! ```
+//!
+//! `--scenario FILE` runs one declarative scenario file and
+//! `repro scenarios DIR` sweeps every `.toml` file in a directory
+//! (sorted by name) as one cost-ordered, fork-aware suite — scenario
+//! ids ride the exact same machinery as built-in experiments, so all
+//! of the flags below (and the byte-identity contract across `--jobs`,
+//! `--fork`, and cost-model state) apply unchanged. Every file is
+//! parsed *and* semantically validated before anything runs;
+//! `--check` stops there, reporting each file. The schema reference
+//! is `SCENARIOS.md`; `examples/scenarios/` is the cookbook.
 //!
 //! `--jobs N` fans independent runs across N worker threads (default:
 //! available parallelism). The budget is *global*: with several
@@ -94,6 +106,8 @@ fn usage() -> ! {
          [--resume] [--ledger PATH] <experiment>... | all | list"
     );
     eprintln!("       repro cell <experiment> --cell B:I [options]");
+    eprintln!("       repro --scenario FILE [options]   (run one scenario file; see SCENARIOS.md)");
+    eprintln!("       repro scenarios DIR [--check] [options]   (sweep a directory as one suite)");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
 }
@@ -114,6 +128,7 @@ fn main() {
     let mut cell_mode = false;
     let mut cell_filter: Option<(usize, usize)> = None;
     let mut resume = false;
+    let mut check_only = false;
     let mut ledger_path = PathBuf::from("RUN_LEDGER.txt");
     let mut ledger_flag = false;
     let mut ids: Vec<String> = Vec::new();
@@ -177,6 +192,23 @@ fn main() {
                 ledger_path = PathBuf::from(v);
                 ledger_flag = true;
             }
+            "--scenario" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                ids.push(format!("scenario:{v}"));
+            }
+            "--check" => check_only = true,
+            "scenarios" if ids.is_empty() && !cell_mode => {
+                let dir = args.next().unwrap_or_else(|| usage());
+                match experiments::scenario::discover(std::path::Path::new(&dir)) {
+                    Ok(files) => {
+                        ids.extend(files.iter().map(|p| format!("scenario:{}", p.display())))
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "cell" if ids.is_empty() && !cell_mode => cell_mode = true,
             "list" => {
                 for id in ALL_EXPERIMENTS {
@@ -194,10 +226,42 @@ fn main() {
     }
     if let Some(bad) = ids
         .iter()
-        .find(|id| !ALL_EXPERIMENTS.contains(&id.as_str()))
+        .find(|id| !id.starts_with("scenario:") && !ALL_EXPERIMENTS.contains(&id.as_str()))
     {
         eprintln!("unknown experiment {bad:?}");
         usage();
+    }
+    // Scenario files are validated up front — both layers, every file —
+    // so a bad file in a directory sweep fails fast instead of mid-suite.
+    {
+        let mut bad = 0usize;
+        for id in ids.iter().filter(|id| id.starts_with("scenario:")) {
+            let path = std::path::Path::new(&id["scenario:".len()..]);
+            match experiments::scenario::load(path) {
+                Ok(sc) if check_only => println!(
+                    "ok {}: \"{}\" ({} vm table(s), {} cell(s))",
+                    path.display(),
+                    sc.name,
+                    sc.vms.len(),
+                    experiments::scenario::num_cells(&sc)
+                ),
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("{e}");
+                    bad += 1;
+                }
+            }
+        }
+        if bad > 0 {
+            std::process::exit(2);
+        }
+        if check_only {
+            if ids.iter().any(|id| !id.starts_with("scenario:")) {
+                eprintln!("--check only applies to scenario files");
+                std::process::exit(2);
+            }
+            return;
+        }
     }
     if cell_mode {
         if cell_filter.is_none() || ids.len() != 1 {

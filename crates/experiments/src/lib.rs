@@ -35,6 +35,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod runner;
+pub mod scenario;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -63,7 +64,18 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
 ];
 
 /// Runs one experiment by id.
+///
+/// Ids of the form `scenario:PATH` run the scenario file at `PATH`
+/// (`repro --scenario` / `repro scenarios` produce them after
+/// pre-validating every file). A file that fails to load here — deleted
+/// or edited between validation and execution — panics with the loader's
+/// message rather than masquerading as an unknown id.
 pub fn run_experiment(id: &str, opts: &RunOptions) -> Option<Vec<Table>> {
+    if let Some(path) = id.strip_prefix("scenario:") {
+        let sc = scenario::load(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("scenario file no longer loads: {e}"));
+        return Some(scenario::run(opts, &sc));
+    }
     match id {
         "table1" => Some(table1::run(opts)),
         "table2" => Some(table2::run(opts)),

@@ -43,7 +43,15 @@ impl Snapshot {
     ///
     /// Every fork is byte-identical to every other fork of the same
     /// snapshot and to the machine the snapshot was taken from; running
-    /// one never perturbs the snapshot or its siblings.
+    /// one never perturbs the snapshot or its siblings. The contract is
+    /// total: event queue (including pending cancellations), RNG
+    /// streams, fault plan position, credit/accounting counters, and
+    /// per-VM metrics all come back, so a fork driven with the same
+    /// subsequent API calls (policy installs, `run_until` deadlines)
+    /// produces the same bytes as re-simulating from scratch — this is
+    /// what lets the grid runner warm a shared prefix once per group
+    /// and fork each cell from it (`--no-fork` re-simulates instead and
+    /// must be byte-identical; `tests/determinism.rs` enforces it).
     pub fn fork(&self) -> Machine {
         self.base.clone()
     }

@@ -13,6 +13,8 @@
 //!   (the role of Xen's perf counters in the adaptive controller).
 //! - [`render`] — minimal fixed-width table renderer for experiment output.
 
+#![warn(missing_docs)]
+
 pub mod counters;
 pub mod hist;
 pub mod render;

@@ -551,7 +551,14 @@ impl<E> ShardedEventQueue<E> {
         Some((at, payload))
     }
 
-    /// The timestamp of the globally earliest pending event, if any.
+    /// The timestamp of the globally earliest pending event, if any —
+    /// the sharded [`EventQueue::peek_time`].
+    ///
+    /// Takes `&mut self` because selecting the best shard refreshes any
+    /// stale cached head keys (reaping cancelled entries inside the
+    /// shard on the way), so the answer is exact. Cost is `O(shards)`
+    /// on the cached keys when the heads are live; callers holding only
+    /// `&self` should use [`earliest`](Self::earliest).
     pub fn peek_time(&mut self) -> Option<SimTime> {
         let (_, head) = self.best_shard();
         if head == EMPTY_HEAD {

@@ -1,0 +1,238 @@
+//! Rule `D7` — cross-file consistency between the fault-injection
+//! grammar documented in the manuals and the `KIND_NAMES` table in
+//! `crates/hypervisor/src/faults.rs`.
+//!
+//! Every other rule lints one Rust file at a time; drift between *code
+//! and prose* needs a checker that reads both sides. The canonical
+//! fault-kind alternation is derived from the source of truth — the
+//! `KIND_NAMES` table that `FaultSpec::parse` and `Display` are built
+//! on — by lexing `faults.rs` with the same comment-free token stream
+//! the D-rules use, so a rename or reorder in the code immediately
+//! changes the expected string. Each documentation target
+//! ([`DOC_TARGETS`]) is then scanned line by line for `kinds=<run>`
+//! occurrences, where `<run>` is the maximal `[A-Za-z0-9|]` run after
+//! the `=`:
+//!
+//! 1. **Unknown kind** — every `|`-separated segment of every run must
+//!    be a kind name from the table (or the meta-name `all`). Catches a
+//!    rename leaving stale example specs behind.
+//! 2. **Stale enumeration** — a run that alternates `all` with other
+//!    segments is the full grammar statement and must equal the
+//!    canonical alternation byte for byte (order included, since
+//!    `Display` renders kinds in table order).
+//! 3. **Missing grammar** — each target doc must state the full
+//!    canonical alternation at least once, so the reference cannot be
+//!    silently deleted.
+//! 4. **Lost anchor** — if `KIND_NAMES` itself disappears from
+//!    `faults.rs`, the checker reports that rather than silently
+//!    passing everything.
+//!
+//! Example fault specs with a subset of kinds (`kinds=ipi|drop`) are
+//! legal prose; only their segment names are checked. Findings carry
+//! the same fingerprint scheme as D1–D6, so `simlint.allow` and the
+//! baseline machinery apply unchanged.
+
+use crate::lexer::{lex, TokenKind};
+use crate::rules::{fnv1a64, normalize, Finding};
+use std::path::Path;
+
+/// The documentation files that must agree with `KIND_NAMES`.
+pub const DOC_TARGETS: &[&str] = &["EXPERIMENTS.md", "SCENARIOS.md"];
+
+/// Workspace-relative path of the kind-name source of truth.
+pub const FAULTS_SOURCE: &str = "crates/hypervisor/src/faults.rs";
+
+const HINT_ANCHOR: &str = "the KIND_NAMES table anchors the fault-grammar drift check; \
+                           if it moved or was renamed, update simlint::consistency with it";
+const HINT_UNKNOWN: &str = "this kind name is not in faults.rs KIND_NAMES; \
+                            update the doc (or the table) so specs in prose stay parseable";
+const HINT_STALE: &str = "this is the full kinds= alternation and it no longer matches \
+                          KIND_NAMES order/spelling; re-derive it from faults.rs";
+const HINT_MISSING: &str = "each grammar reference doc must state the full kinds= \
+                            alternation from faults.rs KIND_NAMES at least once";
+
+/// Derives the canonical `kinds=` alternation (`ipi|drop|...|all`) from
+/// the `KIND_NAMES` table: the string literals between the `KIND_NAMES`
+/// identifier and the `;` that closes its item, in table order, plus
+/// the `all` meta-name `FaultSpec::parse` accepts.
+pub fn canonical_grammar(faults_src: &str) -> Option<String> {
+    let toks = lex(faults_src);
+    let mut names = Vec::new();
+    // Tiny state machine: find the `KIND_NAMES` identifier, skip past
+    // its type annotation to the `=` (the `;` inside `[(u8, &str); 8]`
+    // must not terminate the scan), then collect the string literals of
+    // the initializer until the item's closing `;`.
+    #[derive(PartialEq)]
+    enum State {
+        Seeking,
+        TypeSide,
+        Initializer,
+    }
+    let mut state = State::Seeking;
+    for t in &toks {
+        match t.kind {
+            TokenKind::LineComment | TokenKind::BlockComment => continue,
+            TokenKind::Ident if state == State::Seeking && t.text(faults_src) == "KIND_NAMES" => {
+                state = State::TypeSide;
+            }
+            TokenKind::Punct if state == State::TypeSide && t.text(faults_src) == "=" => {
+                state = State::Initializer;
+            }
+            TokenKind::StrLit if state == State::Initializer => {
+                names.push(t.text(faults_src).trim_matches('"').to_string());
+            }
+            TokenKind::Punct if state == State::Initializer && t.text(faults_src) == ";" => break,
+            _ => {}
+        }
+    }
+    if names.is_empty() {
+        return None;
+    }
+    names.push("all".to_string());
+    Some(names.join("|"))
+}
+
+/// The trimmed text of 1-based line `n` of `src`.
+fn line_text(src: &str, n: u32) -> String {
+    src.lines()
+        .nth(n as usize - 1)
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
+
+/// Scans one doc for `kinds=` runs and reports drift against
+/// `canonical` (whose segments before `all` are the legal kind names).
+fn check_doc(path: &str, src: &str, canonical: &str, findings: &mut Vec<Finding>) {
+    let legal: Vec<&str> = canonical.split('|').collect();
+    let mut saw_canonical = false;
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let mut from = 0usize;
+        while let Some(pos) = line[from..].find("kinds=") {
+            let at = from + pos;
+            let run_start = at + "kinds=".len();
+            let run: &str = {
+                let rest = &line[run_start..];
+                let end = rest
+                    .find(|c: char| !c.is_ascii_alphanumeric() && c != '|')
+                    .unwrap_or(rest.len());
+                &rest[..end]
+            };
+            from = run_start;
+            if run.is_empty() {
+                continue; // prose mentioning `kinds=` without a spec
+            }
+            from += run.len();
+            if run == canonical {
+                saw_canonical = true;
+                continue;
+            }
+            let is_enumeration = run.contains('|') && run.split('|').any(|s| s == "all");
+            if is_enumeration {
+                // The full grammar statement, but not byte-equal.
+                findings.push(Finding {
+                    rule: "D7",
+                    path: path.to_string(),
+                    line: lineno,
+                    col: at as u32 + 1,
+                    tokens: format!("kinds={run}"),
+                    snippet: line_text(src, lineno),
+                    hint: HINT_STALE,
+                    fingerprint: 0,
+                });
+                continue;
+            }
+            for seg in run.split('|') {
+                if !legal.contains(&seg) {
+                    findings.push(Finding {
+                        rule: "D7",
+                        path: path.to_string(),
+                        line: lineno,
+                        col: at as u32 + 1,
+                        tokens: format!("kinds={run}"),
+                        snippet: line_text(src, lineno),
+                        hint: HINT_UNKNOWN,
+                        fingerprint: 0,
+                    });
+                    break; // one finding per run, not per bad segment
+                }
+            }
+        }
+    }
+    if !saw_canonical {
+        findings.push(Finding {
+            rule: "D7",
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            tokens: format!("kinds={canonical}"),
+            snippet: format!("(no `kinds={canonical}` grammar line)"),
+            hint: HINT_MISSING,
+            fingerprint: 0,
+        });
+    }
+}
+
+/// Pure core of the check, testable without a filesystem: `faults_src`
+/// supplies the canonical table, each `(path, src)` in `docs` is
+/// scanned against it. Findings come back fingerprinted and sorted the
+/// same way [`crate::lint_source`] sorts within a file.
+pub fn check_sources(faults_path: &str, faults_src: &str, docs: &[(&str, &str)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(canonical) = canonical_grammar(faults_src) else {
+        findings.push(Finding {
+            rule: "D7",
+            path: faults_path.to_string(),
+            line: 1,
+            col: 1,
+            tokens: "KIND_NAMES".to_string(),
+            snippet: "(KIND_NAMES table not found)".to_string(),
+            hint: HINT_ANCHOR,
+            fingerprint: 1, // no snippet to hash; constant is fine for a singleton
+        });
+        return findings;
+    };
+    for (path, src) in docs {
+        let start = findings.len();
+        check_doc(path, src, &canonical, &mut findings);
+        findings[start..].sort_by_key(|f| (f.line, f.col));
+    }
+    // Same fingerprint scheme as lint_source: rule + path + normalized
+    // snippet + occurrence index among identical pairs.
+    let mut occ: Vec<(String, u32)> = Vec::new();
+    for f in &mut findings {
+        let norm = normalize(&f.snippet);
+        let key = format!("{}\u{1}{}\u{1}{}", f.rule, f.path, norm);
+        let n = match occ.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => {
+                *n += 1;
+                *n
+            }
+            None => {
+                occ.push((key, 0));
+                0
+            }
+        };
+        f.fingerprint = fnv1a64(&[f.rule, &f.path, &norm, &n.to_string()]);
+    }
+    findings
+}
+
+/// Runs the D7 check against a real workspace rooted at `root`. A doc
+/// target that does not exist reads as empty and therefore reports the
+/// missing-grammar finding — deleting `SCENARIOS.md` is drift too.
+pub fn check(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let faults_src = std::fs::read_to_string(root.join(FAULTS_SOURCE))?;
+    let bufs: Vec<(&str, String)> = DOC_TARGETS
+        .iter()
+        .map(|p| {
+            (
+                *p,
+                std::fs::read_to_string(root.join(p)).unwrap_or_default(),
+            )
+        })
+        .collect();
+    let docs: Vec<(&str, &str)> = bufs.iter().map(|(p, s)| (*p, s.as_str())).collect();
+    Ok(check_sources(FAULTS_SOURCE, &faults_src, &docs))
+}

@@ -13,6 +13,8 @@
 //! | `D3` | randomness only via the seeded `simcore::rng` streams; no fresh generator construction outside the machine/fault stream split |
 //! | `D4` | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in `hypervisor` run paths — they are `Result`-poisoned (`SimError`) |
 //! | `D5` | no ad-hoc `thread::spawn`/`.spawn()`/`mpsc`/`Condvar` outside `runner::pool`, `runner::parallel` and the watchdog |
+//! | `D6` | no float (`f64`/`f32`) reductions or in-place accumulation in crates whose state reaches rendered output — sum in integers or justify the fold order |
+//! | `D7` | cross-file: the `kinds=` fault grammar in `EXPERIMENTS.md`/`SCENARIOS.md` must match the `KIND_NAMES` table in `faults.rs` (see [`consistency`]) |
 //! | `J0` | justification tags must carry a reason (see below) |
 //!
 //! Code under `#[test]` / `#[cfg(test)]` items is exempt. A finding is
@@ -28,6 +30,7 @@
 //! `cargo run -p simlint --release -- --workspace --baseline simlint.allow`.
 
 pub mod baseline;
+pub mod consistency;
 pub mod json;
 pub mod lexer;
 pub mod rules;
@@ -38,12 +41,14 @@ pub use rules::{lint_source, Finding};
 
 use std::path::Path;
 
-/// Lints every `crates/*/src/**.rs` file under `root`, in sorted order.
+/// Lints every `crates/*/src/**.rs` file under `root`, in sorted
+/// order, then runs the cross-file [`consistency`] check (`D7`).
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     for (rel, abs) in walk::workspace_files(root)? {
         let src = std::fs::read_to_string(&abs)?;
         findings.extend(lint_source(&rel, &src));
     }
+    findings.extend(consistency::check(root)?);
     Ok(findings)
 }

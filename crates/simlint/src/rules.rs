@@ -24,7 +24,7 @@ use crate::lexer::{lex, Token, TokenKind};
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (`D1`..`D6`, `J0`).
+    /// Rule identifier (`D1`..`D7`, `J0`).
     pub rule: &'static str,
     /// Workspace-relative path of the file.
     pub path: String,
@@ -341,11 +341,11 @@ fn line_text(src: &str, n: u32) -> String {
 
 /// Collapses whitespace runs so the fingerprint tolerates reformatting
 /// within a line as well as line moves.
-fn normalize(s: &str) -> String {
+pub(crate) fn normalize(s: &str) -> String {
     s.split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
-fn fnv1a64(parts: &[&str]) -> u64 {
+pub(crate) fn fnv1a64(parts: &[&str]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for p in parts {
         for &b in p.as_bytes() {

@@ -1,0 +1,105 @@
+//! Position-pinned tests for rule `D7` (cross-file fault-grammar
+//! consistency), in the same fixture style as `tests/rules.rs`: each
+//! fixture is real text, each assertion pins (rule, line, col) so a
+//! scanner regression moves a number rather than silently passing.
+
+use simlint::consistency::{canonical_grammar, check, check_sources};
+use std::path::Path;
+
+const FAULTS_FIXTURE: &str = include_str!("fixtures/d7_faults.rs");
+
+/// (rule, line, col, tokens) of every finding for the given docs run
+/// against the fixture kind table.
+fn hits(docs: &[(&str, &str)]) -> Vec<(String, u32, u32, String)> {
+    check_sources("crates/hypervisor/src/faults.rs", FAULTS_FIXTURE, docs)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line, f.col, f.tokens))
+        .collect()
+}
+
+#[test]
+fn canonical_grammar_comes_from_the_kind_table_in_order() {
+    assert_eq!(
+        canonical_grammar(FAULTS_FIXTURE).as_deref(),
+        Some("ipi|drop|kick|all"),
+        "the decoy comment/string must not anchor the scan"
+    );
+}
+
+#[test]
+fn clean_doc_reports_nothing() {
+    assert!(hits(&[("d7_ok.md", include_str!("fixtures/d7_ok.md"))]).is_empty());
+}
+
+#[test]
+fn drifted_doc_pins_stale_enumeration_unknown_kind_and_missing_grammar() {
+    let got = hits(&[("d7_drift.md", include_str!("fixtures/d7_drift.md"))]);
+    let brief: Vec<(&str, u32, u32, &str)> = got
+        .iter()
+        .map(|(r, l, c, t)| (r.as_str(), *l, *c, t.as_str()))
+        .collect();
+    assert_eq!(
+        brief,
+        vec![
+            // The doc never states the canonical alternation (its
+            // enumeration is stale), so the missing-grammar finding
+            // fires alongside the two drift findings.
+            ("D7", 1, 1, "kinds=ipi|drop|kick|all"),
+            ("D7", 3, 35, "kinds=ipi|kick|all"),
+            ("D7", 6, 2, "kinds=ipi|dropp"),
+        ]
+    );
+}
+
+#[test]
+fn doc_without_a_grammar_line_reports_missing() {
+    let got = hits(&[("d7_missing.md", include_str!("fixtures/d7_missing.md"))]);
+    let brief: Vec<(&str, u32, u32)> = got
+        .iter()
+        .map(|(r, l, c, _)| (r.as_str(), *l, *c))
+        .collect();
+    assert_eq!(brief, vec![("D7", 1, 1)]);
+}
+
+#[test]
+fn lost_kind_table_is_itself_a_finding() {
+    let findings = check_sources(
+        "crates/hypervisor/src/faults.rs",
+        "pub const NOTHING_HERE: u8 = 0;",
+        &[("d7_ok.md", include_str!("fixtures/d7_ok.md"))],
+    );
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "D7");
+    assert_eq!(findings[0].path, "crates/hypervisor/src/faults.rs");
+    assert_eq!((findings[0].line, findings[0].col), (1, 1));
+}
+
+#[test]
+fn fingerprints_are_stable_and_distinct_per_finding() {
+    let docs = [("d7_drift.md", include_str!("fixtures/d7_drift.md"))];
+    let a = check_sources("f.rs", FAULTS_FIXTURE, &docs);
+    let b = check_sources("f.rs", FAULTS_FIXTURE, &docs);
+    assert_eq!(a, b, "fingerprints must be deterministic");
+    let mut prints: Vec<u64> = a.iter().map(|f| f.fingerprint).collect();
+    prints.sort_unstable();
+    prints.dedup();
+    assert_eq!(prints.len(), a.len(), "fingerprints must not collide");
+}
+
+#[test]
+fn real_workspace_docs_match_the_real_kind_table() {
+    // The live integration half (tests/selfcheck.rs also covers this
+    // via lint_workspace): the repo's own manuals carry the canonical
+    // grammar derived from the real faults.rs.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let faults_src = std::fs::read_to_string(root.join("crates/hypervisor/src/faults.rs")).unwrap();
+    assert_eq!(
+        canonical_grammar(&faults_src).as_deref(),
+        Some("ipi|drop|kick|steal|burst|jitter|skew|sabotage|all")
+    );
+    let findings = check(&root).unwrap();
+    assert!(
+        findings.is_empty(),
+        "doc drift against faults.rs:\n{findings:#?}"
+    );
+}

@@ -1,0 +1,16 @@
+//! D7 fixture: a miniature `faults.rs` with a three-kind table, so the
+//! canonical alternation is `ipi|drop|kick|all`.
+
+pub const KIND_IPI_DELAY: u8 = 1 << 0;
+pub const KIND_DROP_KICKS: u8 = 1 << 1;
+pub const KIND_SPURIOUS_KICK: u8 = 1 << 2;
+
+// A stray "KIND_NAMES" in a comment or string must not anchor the scan:
+// the checker works on the comment-free token stream.
+pub const DECOY: &str = "KIND_NAMES lives elsewhere";
+
+pub const KIND_NAMES: [(u8, &str); 3] = [
+    (KIND_IPI_DELAY, "ipi"),
+    (KIND_DROP_KICKS, "drop"),
+    (KIND_SPURIOUS_KICK, "kick"),
+];

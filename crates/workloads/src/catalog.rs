@@ -77,6 +77,33 @@ impl Workload {
         }
     }
 
+    /// Every workload, in declaration order (the scenario-file loader and
+    /// fuzzer enumerate this instead of hand-maintaining their own lists).
+    pub const ALL: [Workload; 16] = [
+        Workload::Exim,
+        Workload::Gmake,
+        Workload::Psearchy,
+        Workload::Memclone,
+        Workload::Dedup,
+        Workload::Vips,
+        Workload::Swaptions,
+        Workload::Blackscholes,
+        Workload::Bodytrack,
+        Workload::Streamcluster,
+        Workload::Raytrace,
+        Workload::Perlbench,
+        Workload::Sjeng,
+        Workload::Bzip2,
+        Workload::IperfServer,
+        Workload::Lookbusy,
+    ];
+
+    /// The inverse of [`Workload::name`]: resolves a scenario-file
+    /// workload name (`"gmake"`, `"iperf"`, ...) to its variant.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == name)
+    }
+
     /// True for workloads measured by throughput (work units per second)
     /// rather than execution time.
     pub fn is_throughput(self) -> bool {

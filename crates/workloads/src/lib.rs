@@ -26,6 +26,7 @@
 
 pub mod catalog;
 pub mod profile;
+pub mod scenario_file;
 pub mod scenarios;
 
 pub use catalog::Workload;

@@ -1,0 +1,181 @@
+//! Seeded generator of random **valid** scenarios.
+//!
+//! This is the scenario-coverage half of the two-layer validation story:
+//! [`random_scenario`] builds a semantically valid [`Scenario`] from a
+//! seed, the fuzz harness (`tests/scenario_fuzz.rs`, plus the ci.sh
+//! smoke) renders it with [`Scenario::to_toml`], re-parses it, asserts
+//! the round-trip is equal, and runs it under `--paranoid` asserting
+//! clean invariants. Everything the generator can produce must parse,
+//! validate, and simulate without tripping an assertion.
+//!
+//! The generator deliberately stays inside the *survivable* envelope:
+//! window mode only (termination is guaranteed by the clock, not the
+//! workload), fault kinds drawn from [`hypervisor::faults::KIND_ALL`]
+//! (never sabotage — sabotage exists to *break* invariants, which is
+//! the opposite of what a clean-invariants fuzz asserts), and machine
+//! shapes small enough that a hundred cases finish in CI time.
+
+use super::{
+    FlowDef, MachineShape, PinDef, PolicySpec, RunMode, RunSpec, Scenario, TaskDef, VmDef,
+};
+use crate::catalog::Workload;
+use hypervisor::faults::KIND_ALL;
+use hypervisor::FaultSpec;
+use simcore::rng::SimRng;
+use simcore::time::SimDuration;
+
+/// Shorthand workload pool: profile-driven kinds only. iPerf is handled
+/// separately (as an explicit task with a flow), and sabotage-free
+/// fault plans keep every one of these survivable under `--paranoid`.
+const POOL: [Workload; 8] = [
+    Workload::Exim,
+    Workload::Gmake,
+    Workload::Psearchy,
+    Workload::Memclone,
+    Workload::Dedup,
+    Workload::Vips,
+    Workload::Swaptions,
+    Workload::Blackscholes,
+];
+
+/// Builds a random semantically valid scenario from `seed`.
+///
+/// Determinism: equal seeds yield equal scenarios (the generator draws
+/// from a dedicated [`SimRng`] stream and never consults ambient state).
+pub fn random_scenario(seed: u64) -> Scenario {
+    // SIMLINT: scenario-fuzz generator (PR 10) — test-harness RNG seeded
+    // by the caller, never reachable from simulation state.
+    let mut rng = SimRng::new(seed ^ 0x5CE2_A210_F12E_0001);
+    let pcpus = rng.range_u64(2, 7) as u16;
+    let normal_slice_ms = rng.range_u64(10, 31);
+    // Keep micro << normal so the [machine] slice-ordering check holds.
+    let micro_slice_us = rng.range_u64(50, 201);
+
+    let mut policies = vec![match rng.below(3) {
+        0 => PolicySpec::Baseline,
+        1 => PolicySpec::Micro(rng.range_u64(1, pcpus as u64 + 1) as u16),
+        _ => PolicySpec::Adaptive,
+    }];
+    if rng.below(2) == 0 {
+        policies.push(PolicySpec::Micro(rng.range_u64(1, pcpus as u64 + 1) as u16));
+    }
+
+    let faults = if rng.below(2) == 0 {
+        // Survivable kinds only: any non-empty subset of KIND_ALL.
+        let mut kinds = (rng.next_u64() as u8) & KIND_ALL;
+        if kinds == 0 {
+            kinds = KIND_ALL;
+        }
+        Some(FaultSpec {
+            seed: rng.next_u64(),
+            count: rng.range_u64(1, 13) as u32,
+            kinds,
+            window: SimDuration::from_millis(rng.range_u64(20, 121)),
+            take: 0,
+        })
+    } else {
+        None
+    };
+
+    let num_vms = rng.range_u64(1, 4);
+    let mut vms = Vec::new();
+    for _ in 0..num_vms {
+        let vcpus = rng.range_u64(1, 5) as u16;
+        let mut vm = VmDef::new(vcpus);
+        vm.count = rng.range_u64(1, 3) as u32;
+        vm.workload = Some(POOL[rng.below(POOL.len() as u64) as usize]);
+        match rng.below(4) {
+            0 => vm.iters = Some(rng.range_u64(100, 2_001)),
+            1 => vm.endless = true,
+            _ => {}
+        }
+        if rng.below(5) == 0 {
+            // An iPerf receiver task sharing vCPU 0, fed by one flow —
+            // the mixed-co-run shape, scaled down.
+            vm.tasks.push(TaskDef {
+                vcpu: 0,
+                workload: Workload::IperfServer,
+                iters: None,
+                endless: false,
+            });
+            vm.flows.push(FlowDef {
+                tcp: rng.below(2) == 0,
+                virq_vcpu: 0,
+                target_task: vm.vcpus as u32, // first explicit task
+            });
+        }
+        if rng.below(3) == 0 {
+            vm.pins.push(PinDef {
+                vcpu: rng.below(vcpus as u64) as u16,
+                pcpus: vec![rng.below(pcpus as u64) as u16],
+            });
+        }
+        vms.push(vm);
+    }
+
+    let sc = Scenario {
+        name: format!("fuzz-{seed:#018x}"),
+        machine: MachineShape {
+            pcpus,
+            micro_slice_us,
+            normal_slice_ms,
+        },
+        run: RunSpec {
+            mode: RunMode::Window,
+            window_ms: rng.range_u64(40, 121),
+            warm_ms: rng.range_u64(0, 31),
+            repeats: rng.range_u64(1, 3) as u32,
+            policies,
+        },
+        faults,
+        vms,
+    };
+    debug_assert!(
+        sc.validate().is_ok(),
+        "generator produced an invalid scenario for seed {seed:#x}: {:?}",
+        sc.validate()
+    );
+    sc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_scenarios_validate() {
+        for seed in 0..64 {
+            let sc = random_scenario(seed);
+            if let Err(errs) = sc.validate() {
+                panic!("seed {seed}: invalid scenario: {errs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(random_scenario(7), random_scenario(7));
+        assert_ne!(random_scenario(7), random_scenario(8));
+    }
+
+    #[test]
+    fn generated_scenarios_round_trip_through_the_parser() {
+        for seed in 0..64 {
+            let sc = random_scenario(seed);
+            let text = sc.to_toml();
+            let back = super::super::parse_str(&sc.name, &text)
+                .unwrap_or_else(|e| panic!("seed {seed}: canonical text fails to parse: {e}"));
+            assert_eq!(sc, back, "seed {seed}: round-trip changed the scenario");
+        }
+    }
+
+    #[test]
+    fn fuzzer_never_emits_sabotage() {
+        use hypervisor::faults::KIND_SABOTAGE;
+        for seed in 0..256 {
+            if let Some(spec) = random_scenario(seed).faults {
+                assert_eq!(spec.kinds & KIND_SABOTAGE, 0, "seed {seed}");
+            }
+        }
+    }
+}

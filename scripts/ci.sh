@@ -14,7 +14,7 @@ echo "== build (release) ==" >&2
 cargo build --release
 
 echo "== simlint (determinism & poisoning rules) ==" >&2
-# The D1-D6 gate (see DESIGN.md §4.9). Fails on any finding not covered
+# The D1-D7 gate (see DESIGN.md §4.9). Fails on any finding not covered
 # by the checked-in simlint.allow baseline and on stale baseline entries.
 # After an intentional, justified addition, regenerate the baseline with
 #   cargo run -p simlint --release -- --workspace --write-baseline
@@ -22,8 +22,8 @@ echo "== simlint (determinism & poisoning rules) ==" >&2
 cargo run -p simlint --release --quiet -- --workspace --baseline simlint.allow
 
 echo "== doc build (deny warnings) ==" >&2
-# Broken intra-doc links and missing docs (simcore/hypervisor carry
-# #![warn(missing_docs)]) fail fast here instead of rotting.
+# Broken intra-doc links and missing docs (missing_docs warns
+# workspace-wide) fail fast here instead of rotting.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "== tests ==" >&2
@@ -87,6 +87,27 @@ cmp "$ci_out/off.txt" "$ci_out/resumed.txt" || {
 }
 rm -f "$ci_ledger"
 rm -rf "$ci_costs" "$ci_out"
+
+echo "== scenario catalog smoke ==" >&2
+# The declarative scenario catalog (SCENARIOS.md): every cookbook file
+# must pass both validation layers, a representative file must render
+# byte-identical stdout across --jobs, and the seeded fuzzer must hold
+# 100 generated scenarios clean under --paranoid (release: the full
+# case count; `cargo test -q` above ran the 16-case debug slice).
+target/release/repro scenarios examples/scenarios --check
+sc_out="$(mktemp -d)"
+# No --quick here: quick mode floors measurement windows at 800 ms,
+# which would *inflate* the cookbook's deliberately small windows.
+target/release/repro --jobs 1 --costs off \
+    --scenario examples/scenarios/overcommit-grid.toml > "$sc_out/j1.txt"
+target/release/repro --jobs 2 --costs off \
+    --scenario examples/scenarios/overcommit-grid.toml > "$sc_out/j2.txt"
+cmp "$sc_out/j1.txt" "$sc_out/j2.txt" || {
+    echo "--jobs changed scenario stdout" >&2
+    exit 1
+}
+rm -rf "$sc_out"
+cargo test --release -p experiments --test scenario_fuzz -q
 
 echo "== fault-fuzz smoke (fixed seeds) ==" >&2
 # The 100-plan property harness plus the empty-plan byte-identity check;

@@ -1,0 +1,112 @@
+//! The scenario-catalog contract (ISSUE 10 acceptance criteria):
+//!
+//! 1. every cookbook file in `examples/scenarios/` parses and passes
+//!    semantic validation,
+//! 2. the checked-in re-expressions of `workloads::scenarios`
+//!    constructors produce stdout **byte-identical** to the
+//!    constructor-driven runs (the equivalence proof: same run
+//!    parameters, machine parts from the file vs. from the Rust code),
+//! 3. rendered bytes are independent of `--jobs`, and
+//! 4. every catalog file round-trips through the canonical renderer.
+//!
+//! ci.sh re-checks 1 and a slice of 3 against the release binary.
+
+use experiments::scenario::{self, run, run_with_parts};
+use experiments::RunOptions;
+use hypervisor::{MachineConfig, VmSpec};
+use metrics::render::Table;
+use std::path::PathBuf;
+use workloads::scenario_file::{parse_str, Scenario};
+use workloads::{scenarios, Workload};
+
+fn catalog_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios")
+}
+
+fn load(file: &str) -> Scenario {
+    scenario::load(&catalog_dir().join(file)).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn render(tables: &[Table]) -> String {
+    tables.iter().map(|t| t.render()).collect()
+}
+
+#[test]
+fn full_catalog_parses_and_validates() {
+    let files = scenario::discover(&catalog_dir()).unwrap();
+    assert!(
+        files.len() >= 8,
+        "cookbook shrank to {} files (ISSUE 10 ships ~8)",
+        files.len()
+    );
+    for f in &files {
+        scenario::load(f).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn catalog_files_round_trip_through_the_canonical_renderer() {
+    for f in scenario::discover(&catalog_dir()).unwrap() {
+        let sc = scenario::load(&f).unwrap();
+        let back = parse_str(&sc.name, &sc.to_toml())
+            .unwrap_or_else(|e| panic!("{}: canonical render does not re-parse: {e}", f.display()));
+        assert_eq!(sc, back, "{}: to_toml round-trip drifted", f.display());
+    }
+}
+
+/// The equivalence proof for one re-expression: the scenario file's own
+/// parts and the in-repo constructor must yield byte-identical tables
+/// under identical run parameters.
+fn assert_reexpression(file: &str, constructor: impl Fn() -> (MachineConfig, Vec<VmSpec>) + Sync) {
+    let sc = load(file);
+    let opts = RunOptions::default();
+    let from_file = render(&run(&opts, &sc));
+    let from_ctor = render(&run_with_parts(&opts, &sc, constructor));
+    assert_eq!(
+        from_file, from_ctor,
+        "{file}: file-driven and constructor-driven runs diverged"
+    );
+    assert!(
+        !from_file.contains("ERR") && !from_file.contains("HUNG"),
+        "{file}: cells failed:\n{from_file}"
+    );
+}
+
+#[test]
+fn solo_gmake_reexpression_is_byte_identical() {
+    assert_reexpression("solo-gmake.toml", || scenarios::solo(Workload::Gmake));
+}
+
+#[test]
+fn corun_dedup_reexpression_is_byte_identical() {
+    assert_reexpression("corun-dedup.toml", || scenarios::corun(Workload::Dedup));
+}
+
+#[test]
+fn fig9_mixed_pinned_reexpression_is_byte_identical() {
+    assert_reexpression("fig9-mixed-pinned-tcp.toml", || {
+        scenarios::fig9_mixed_pinned(true)
+    });
+}
+
+#[test]
+fn mixed_iperf_corun_reexpression_is_byte_identical() {
+    assert_reexpression("mixed-iperf-corun.toml", scenarios::mixed_iperf_corun);
+}
+
+#[test]
+fn catalog_bytes_are_independent_of_jobs_and_fork() {
+    let sc = load("overcommit-grid.toml");
+    let baseline = render(&run(&RunOptions::default(), &sc));
+    let fanned = render(&run(&RunOptions::default().with_jobs(3), &sc));
+    assert_eq!(baseline, fanned, "--jobs changed scenario bytes");
+    let scratch = RunOptions {
+        fork: false,
+        ..RunOptions::default()
+    };
+    assert_eq!(
+        baseline,
+        render(&run(&scratch, &sc)),
+        "--no-fork changed scenario bytes"
+    );
+}
